@@ -1,0 +1,124 @@
+//! Kishu+Det-replay (§7.1): operation-replay-optimized Kishu.
+//!
+//! Cells *manually annotated* deterministic store no checkpoint bytes —
+//! only code and dependencies — and are replayed on checkout via Kishu's
+//! own fallback-recomputation machinery. This trades checkpoint size (up to
+//! 3.95× smaller than Kishu in §7.3) for potentially unacceptable checkout
+//! times (replaying a whole model-fitting sequence, §7.5.2); the paper
+//! leaves the cost-based optimizer to future work, and so does this
+//! baseline.
+
+use kishu::session::{CellReport, CheckoutReport, KishuConfig, KishuSession};
+use kishu::{KishuError, NodeId};
+use kishu_minipy::RunError;
+use kishu_storage::{CheckpointStore, StoreStats};
+
+/// The Kishu+Det-replay baseline: a Kishu session whose deterministic cells
+/// skip data storage.
+pub struct DetReplay {
+    session: KishuSession,
+}
+
+impl DetReplay {
+    /// New session writing (only nondeterministic cells') checkpoints to
+    /// `store`.
+    pub fn new(store: Box<dyn CheckpointStore>, config: KishuConfig) -> Self {
+        DetReplay {
+            session: KishuSession::new(store, config),
+        }
+    }
+
+    /// In-memory variant.
+    pub fn in_memory(config: KishuConfig) -> Self {
+        DetReplay {
+            session: KishuSession::in_memory(config),
+        }
+    }
+
+    /// Run a cell with its (manual) determinism annotation. Deterministic
+    /// cells are checkpointed metadata-only.
+    pub fn run_cell(&mut self, src: &str, deterministic: bool) -> Result<CellReport, RunError> {
+        self.session.run_cell_with(src, !deterministic)
+    }
+
+    /// Checkout: Kishu's incremental checkout, with deterministic cells
+    /// replayed as needed.
+    pub fn checkout(&mut self, target: NodeId) -> Result<CheckoutReport, KishuError> {
+        self.session.checkout(target)
+    }
+
+    /// Current head.
+    pub fn head(&self) -> NodeId {
+        self.session.head()
+    }
+
+    /// Storage accounting.
+    pub fn store_stats(&self) -> StoreStats {
+        self.session.store_stats()
+    }
+
+    /// Access the wrapped session (metrics, namespace, graph).
+    pub fn session(&mut self) -> &mut KishuSession {
+        &mut self.session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(s: &mut DetReplay, expr: &str) -> String {
+        let r = s.run_cell(&format!("{expr}\n"), true).expect("parses");
+        assert!(r.outcome.error.is_none(), "{:?}", r.outcome.error);
+        r.outcome.value_repr.unwrap_or_default()
+    }
+
+    #[test]
+    fn deterministic_cells_store_nothing() {
+        let mut s = DetReplay::in_memory(KishuConfig::default());
+        s.run_cell("data = arange(10000)\n", true).expect("runs");
+        assert_eq!(s.store_stats().payload_bytes, 0, "annotated cell stored no bytes");
+        // A nondeterministic cell stores its delta normally.
+        s.run_cell("noise = randn(100)\n", false).expect("runs");
+        assert!(s.store_stats().payload_bytes > 0);
+    }
+
+    #[test]
+    fn checkout_replays_deterministic_cells() {
+        let mut s = DetReplay::in_memory(KishuConfig::default());
+        s.run_cell("data = arange(100)\n", true).expect("runs");
+        s.run_cell("total = data.sum()\n", true).expect("runs");
+        let target = s.head();
+        s.run_cell("del data\ndel total\n", true).expect("runs");
+        let report = s.checkout(target).expect("checkout via replay");
+        assert!(!report.recomputed.is_empty(), "replay happened");
+        assert_eq!(eval(&mut s, "total"), "4950.0");
+        assert_eq!(eval(&mut s, "data.size"), "100");
+    }
+
+    #[test]
+    fn nondeterministic_cells_restore_from_bytes() {
+        let mut s = DetReplay::in_memory(KishuConfig::default());
+        s.run_cell("noise = randn(16)\n", false).expect("runs");
+        let fingerprint = eval(&mut s, "noise.sum()");
+        let target = s.head();
+        s.run_cell("noise.fill(0.0)\n", false).expect("runs");
+        s.checkout(target).expect("checkout");
+        // Loaded from bytes, NOT re-drawn: the value is exact.
+        assert_eq!(eval(&mut s, "noise.sum()"), fingerprint);
+    }
+
+    #[test]
+    fn misannotated_nondeterminism_is_the_documented_limitation() {
+        // §5.3 Remark: replaying a nondeterministic cell produces a
+        // different value. Annotating a randn cell "deterministic" loses
+        // exactness.
+        let mut s = DetReplay::in_memory(KishuConfig::default());
+        s.run_cell("noise = randn(16)\n", true).expect("runs");
+        let fingerprint = eval(&mut s, "noise.sum()");
+        let target = s.head();
+        s.run_cell("del noise\n", true).expect("runs");
+        s.checkout(target).expect("checkout replays");
+        assert_ne!(eval(&mut s, "noise.sum()"), fingerprint);
+    }
+}

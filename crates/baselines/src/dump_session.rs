@@ -1,0 +1,177 @@
+//! DumpSession: whole-state application-level serialization (§7.1).
+//!
+//! The Dill `dump_session` strategy: after every cell, pickle the *entire*
+//! namespace into one blob. Restore loads one blob into a fresh kernel —
+//! always a complete, never an incremental, restore. Fails outright on
+//! states containing unserializable classes (Fig 12 / Table 4).
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use kishu_kernel::ObjId;
+use kishu_libsim::{LibReducer, Registry};
+use kishu_minipy::Interp;
+use kishu_pickle::{dumps, loads};
+use kishu_storage::{BlobId, CheckpointStore};
+
+use crate::{CkptStats, MethodError, RestoreStats};
+
+/// The DumpSession baseline.
+pub struct DumpSession {
+    store: Box<dyn CheckpointStore>,
+    registry: Rc<Registry>,
+    reducer: LibReducer,
+    versions: Vec<(BlobId, Vec<String>)>,
+}
+
+impl DumpSession {
+    /// New dumper writing into `store`.
+    pub fn new(store: Box<dyn CheckpointStore>, registry: Rc<Registry>) -> Self {
+        DumpSession {
+            store,
+            reducer: LibReducer::new(registry.clone()),
+            registry,
+            versions: Vec::new(),
+        }
+    }
+
+    /// Number of dumps taken.
+    pub fn versions(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Storage accounting.
+    pub fn stats(&self) -> kishu_storage::StoreStats {
+        self.store.stats()
+    }
+
+    /// Serialize the whole session state as one blob.
+    pub fn checkpoint(&mut self, interp: &Interp) -> Result<CkptStats, MethodError> {
+        let start = Instant::now();
+        let names: Vec<String> = interp.globals.names();
+        let roots: Vec<ObjId> = names
+            .iter()
+            .map(|n| interp.globals.peek(n).expect("name just listed"))
+            .collect();
+        let blob = dumps(&interp.heap, &roots, &self.reducer)
+            .map_err(|e| MethodError::Unsupported(e.to_string()))?;
+        let bytes = blob.len() as u64;
+        let id = self
+            .store
+            .put(&blob)
+            .map_err(|e| MethodError::Io(e.to_string()))?;
+        self.versions.push((id, names));
+        Ok(CkptStats {
+            bytes,
+            time: start.elapsed(),
+        })
+    }
+
+    /// Load version `v` into a fresh kernel (complete, non-incremental).
+    pub fn restore(&self, v: usize) -> Result<(Interp, RestoreStats), MethodError> {
+        let start = Instant::now();
+        let (blob_id, names) = self
+            .versions
+            .get(v)
+            .ok_or(MethodError::UnknownVersion(v))?;
+        let blob = self
+            .store
+            .get(*blob_id)
+            .map_err(|e| MethodError::Io(e.to_string()))?;
+        let bytes_read = blob.len() as u64;
+        let mut interp = Interp::new();
+        kishu_libsim::install(&mut interp, self.registry.clone());
+        let roots = loads(&mut interp.heap, &blob, &self.reducer)
+            .map_err(|e| MethodError::Unsupported(e.to_string()))?;
+        for (name, obj) in names.iter().zip(roots) {
+            interp.globals.set_untracked(name, obj);
+        }
+        Ok((
+            interp,
+            RestoreStats {
+                bytes_read,
+                time: start.elapsed(),
+                killed_kernel: false,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kishu_storage::MemoryStore;
+
+    fn kernel() -> (Interp, Rc<Registry>) {
+        let mut interp = Interp::new();
+        let registry = Rc::new(Registry::standard());
+        kishu_libsim::install(&mut interp, registry.clone());
+        (interp, registry)
+    }
+
+    fn run(i: &mut Interp, src: &str) {
+        let out = i.run_cell(src).expect("parses");
+        assert!(out.error.is_none(), "{:?}", out.error);
+    }
+
+    fn eval(i: &mut Interp, expr: &str) -> String {
+        let out = i.run_cell(&format!("{expr}\n")).expect("parses");
+        out.value_repr.unwrap_or_default()
+    }
+
+    #[test]
+    fn roundtrip_preserves_sharing() {
+        let (mut i, reg) = kernel();
+        let mut ds = DumpSession::new(Box::new(MemoryStore::new()), reg);
+        run(&mut i, "x = [1, 2]\ny = x\n");
+        ds.checkpoint(&i).expect("ckpt");
+        run(&mut i, "x.append(3)\n");
+        ds.checkpoint(&i).expect("ckpt");
+        let (mut restored, _) = ds.restore(0).expect("restore");
+        assert_eq!(eval(&mut restored, "len(x)"), "2");
+        assert_eq!(eval(&mut restored, "id(x) == id(y)"), "True");
+    }
+
+    #[test]
+    fn every_checkpoint_is_full_size() {
+        // Non-incremental: a tiny change still re-dumps everything.
+        let (mut i, reg) = kernel();
+        let mut ds = DumpSession::new(Box::new(MemoryStore::new()), reg);
+        run(&mut i, "big = read_csv('d', 5000, 4, 1)\nflag = 0\n");
+        let c0 = ds.checkpoint(&i).expect("ckpt");
+        run(&mut i, "flag = 1\n");
+        let c1 = ds.checkpoint(&i).expect("ckpt");
+        assert!(c1.bytes > c0.bytes * 9 / 10, "no delta exploitation");
+    }
+
+    #[test]
+    fn unserializable_state_fails() {
+        let (mut i, reg) = kernel();
+        let mut ds = DumpSession::new(Box::new(MemoryStore::new()), reg);
+        run(&mut i, "lazy = lib_obj('pl.LazyFrame', 32, 1)\n");
+        assert!(matches!(
+            ds.checkpoint(&i),
+            Err(MethodError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn deserialize_failure_fails_restore() {
+        let (mut i, reg) = kernel();
+        let mut ds = DumpSession::new(Box::new(MemoryStore::new()), reg);
+        run(&mut i, "fig = lib_obj('bokeh.figure', 32, 1)\n");
+        ds.checkpoint(&i).expect("dump works");
+        assert!(matches!(ds.restore(0), Err(MethodError::Unsupported(_))));
+    }
+
+    #[test]
+    fn off_process_classes_are_fine_here() {
+        // Unlike CRIU, reduction-based dumping handles Ray/Spark/GPU.
+        let (mut i, reg) = kernel();
+        let mut ds = DumpSession::new(Box::new(MemoryStore::new()), reg);
+        run(&mut i, "t = lib_obj('torch.Tensor', 64, 1)\n");
+        ds.checkpoint(&i).expect("reductions handle off-process data");
+        let (restored, _) = ds.restore(0).expect("restore");
+        assert!(restored.globals.contains("t"));
+    }
+}

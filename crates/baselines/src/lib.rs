@@ -1,0 +1,76 @@
+//! # kishu-baselines — every comparator of the paper's evaluation (§7.1)
+//!
+//! All methods checkpoint/restore the *same* simulated kernel state through
+//! the *same* storage interface, so sizes and times compare apples to
+//! apples. The roster:
+//!
+//! | Method | Checkpoint | Restore |
+//! |---|---|---|
+//! | [`criu::CriuFull`] | full page dump of the process image | read everything, kill + rebuild the kernel |
+//! | [`criu::CriuIncremental`] | dirty pages only | read the **whole chain**, piece the image together, kill + rebuild |
+//! | [`dump_session::DumpSession`] | whole session state as one pickle blob | read one blob into a fresh kernel |
+//! | [`elastic::ElasticNotebook`] | profiled store-vs-recompute split per variable | load stored vars, re-run cells for the rest |
+//! | [`det_replay::DetReplay`] | Kishu, but deterministic cells store no bytes | Kishu checkout + cell replay |
+//! | [`ipyflow::IpyflowTracker`] | (tracking-only baseline for Table 6 / Fig 17) | — |
+//!
+//! Kishu itself and AblatedKishu (check-all) live in the `kishu` crate
+//! ([`kishu::KishuSession`] with [`kishu::KishuConfig::check_all`]).
+//!
+//! The CRIU pair fails on states containing off-process classes
+//! (Table 4); DumpSession fails on unserializable classes — both failure
+//! modes are enforced here and measured by the Fig 12 experiment.
+
+pub mod criu;
+pub mod det_replay;
+pub mod dump_session;
+pub mod elastic;
+pub mod ipyflow;
+pub mod memimage;
+
+use std::time::Duration;
+
+/// What one checkpoint cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CkptStats {
+    /// Bytes written for this checkpoint.
+    pub bytes: u64,
+    /// Wall time spent creating and writing it.
+    pub time: Duration,
+}
+
+/// What one restore cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RestoreStats {
+    /// Bytes read from storage.
+    pub bytes_read: u64,
+    /// Wall time, end to end.
+    pub time: Duration,
+    /// Whether the method had to kill and rebuild the kernel process
+    /// (CRIU's non-seamless restore, §2.3).
+    pub killed_kernel: bool,
+}
+
+/// Why a method could not checkpoint or restore a state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MethodError {
+    /// The state contains data the mechanism fundamentally cannot handle
+    /// (off-process objects for CRIU, unserializable classes for
+    /// DumpSession). Carries the offending class/type name.
+    Unsupported(String),
+    /// Storage or decoding failure.
+    Io(String),
+    /// The requested version does not exist.
+    UnknownVersion(usize),
+}
+
+impl std::fmt::Display for MethodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MethodError::Unsupported(what) => write!(f, "unsupported state content: {what}"),
+            MethodError::Io(e) => write!(f, "i/o failure: {e}"),
+            MethodError::UnknownVersion(v) => write!(f, "unknown version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for MethodError {}

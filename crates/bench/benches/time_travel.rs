@@ -1,0 +1,109 @@
+//! End-to-end time-travel benchmarks: the per-figure operations measured
+//! under Criterion (the `repro` binary regenerates the full tables; these
+//! pin the core latencies with statistical rigor).
+//!
+//! * `fig13_checkpoint_cell/*` — one incremental cell checkpoint per
+//!   method on a realistic mid-notebook state.
+//! * `fig15_undo/*` — undoing one cell per method.
+//! * `fig18_covar_share/*` — Kishu's checkpoint cost at 10% vs 100% of the
+//!   state in one co-variable.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use kishu_bench::methods::{Driver, MethodKind};
+use kishu_workloads::sweeps::shared_ref_workload;
+use kishu_workloads::{cell, Cell};
+
+fn setup_cells() -> Vec<Cell> {
+    vec![
+        cell("df = read_csv('bench', 20000, 6, 1)\n"),
+        cell("model = lib_obj('sk.KMeans', 65536, 2)\nmodel.fit(1)\n"),
+        cell("small = [1, 2, 3]\n"),
+    ]
+}
+
+/// Per-method cost of checkpointing one small-delta cell on a meaningful
+/// state (the Fig 13/14 inner loop).
+fn bench_checkpoint_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_checkpoint_cell");
+    group.sample_size(10);
+    for kind in [
+        MethodKind::Kishu,
+        MethodKind::DumpSession,
+        MethodKind::CriuIncremental,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter_batched(
+                || {
+                    let mut d = Driver::new(kind);
+                    for cl in setup_cells() {
+                        d.run_cell(&cl);
+                    }
+                    d
+                },
+                |mut d| black_box(d.run_cell(&cell("small.append(9)\n"))),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Per-method cost of undoing one cell (the Fig 15 inner loop).
+fn bench_undo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_undo");
+    group.sample_size(10);
+    for kind in [
+        MethodKind::Kishu,
+        MethodKind::DumpSession,
+        MethodKind::CriuIncremental,
+        MethodKind::ElasticNotebook,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter_batched(
+                || {
+                    let mut d = Driver::new(kind);
+                    for cl in setup_cells() {
+                        d.run_cell(&cl);
+                    }
+                    d.run_cell(&cell("small.append(9)\n"));
+                    d
+                },
+                |mut d| black_box(d.restore_to(2).expect("restores")),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Kishu's checkpoint cost at the two ends of the Fig 18 sweep.
+fn bench_covar_share(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_covar_share");
+    group.sample_size(10);
+    for in_list in [1usize, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("kishu_modify_ckpt", format!("{}pct", in_list * 10)),
+            &in_list,
+            |b, &in_list| {
+                let (setup, modify) = shared_ref_workload(50_000, 10, in_list);
+                b.iter_batched(
+                    || {
+                        let mut d = Driver::new(MethodKind::Kishu);
+                        for cl in &setup {
+                            d.run_cell(cl);
+                        }
+                        d
+                    },
+                    |mut d| black_box(d.run_cell(&modify)),
+                    BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_cell, bench_undo, bench_covar_share);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all [--scale S] [--json FILE]
+//! repro table2|fig2|fig4|fig12|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19
+//! ```
+
+use std::io::Write as _;
+
+use kishu_bench::experiments::{checkout, checkpoint, robustness, sweeps, tracking, workload_tables};
+use kishu_bench::report::Table;
+
+struct Args {
+    targets: Vec<String>,
+    scale: f64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut targets = Vec::new();
+    let mut scale = 0.3;
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--json" => {
+                json = Some(args.next().unwrap_or_else(|| die("--json needs a path")));
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [all|table2|fig2|fig4|fig12|table4|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19]... [--scale S] [--json FILE]");
+                std::process::exit(0);
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    Args { targets, scale, json }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let everything = args.targets.iter().any(|t| t == "all");
+    let want = |name: &str| everything || args.targets.iter().any(|t| t == name);
+    let mut tables: Vec<Table> = Vec::new();
+    let scale = args.scale;
+
+    let run = |name: &str, f: &mut dyn FnMut() -> Table, tables: &mut Vec<Table>| {
+        if want(name) {
+            eprintln!("[repro] running {name} (scale {scale}) ...");
+            let start = std::time::Instant::now();
+            let t = f();
+            eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f64());
+            println!("{}", t.render());
+            tables.push(t);
+        }
+    };
+
+    run("table2", &mut || workload_tables::table2(scale), &mut tables);
+    run("fig2", &mut || workload_tables::fig2(scale), &mut tables);
+    run("table7", &mut || workload_tables::table7(scale), &mut tables);
+    run("table8", &mut || workload_tables::table8(scale), &mut tables);
+    run("fig4", &mut || sweeps::fig4((2000.0 * scale) as usize + 100), &mut tables);
+    run("fig12", &mut robustness::fig12, &mut tables);
+    run("table4", &mut robustness::table4, &mut tables);
+    run("table5", &mut robustness::table5, &mut tables);
+    if want("fig13") || want("fig14") {
+        eprintln!("[repro] running fig13+fig14 (scale {scale}) ...");
+        let start = std::time::Instant::now();
+        let grid = checkpoint::run_all(scale);
+        eprintln!("[repro] fig13+fig14 done in {:.1}s", start.elapsed().as_secs_f64());
+        for t in [checkpoint::fig13(&grid), checkpoint::fig14(&grid)] {
+            println!("{}", t.render());
+            tables.push(t);
+        }
+    }
+    run("fig15", &mut || checkout::fig15(scale), &mut tables);
+    run("fig16", &mut || checkout::fig16(scale), &mut tables);
+    run("table6", &mut || tracking::table6(scale), &mut tables);
+    run("fig17", &mut || tracking::fig17(scale), &mut tables);
+    run(
+        "fig18",
+        &mut || sweeps::fig18((120_000.0 * scale) as usize + 1_000),
+        &mut tables,
+    );
+    run("fig19", &mut || sweeps::fig19(1000, (scale * 0.5).min(0.2)), &mut tables);
+
+    if tables.is_empty() {
+        die("no experiment matched; see --help");
+    }
+    if let Some(path) = args.json {
+        let json = serde_json::to_string_pretty(&tables).expect("tables serialize");
+        let mut f = std::fs::File::create(&path)
+            .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
+        f.write_all(json.as_bytes())
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!("[repro] wrote {path}");
+    }
+}

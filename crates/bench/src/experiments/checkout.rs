@@ -1,0 +1,175 @@
+//! Fig 15 (undoing a cell execution) and Fig 16 (switching execution
+//! branches): checkout latency per notebook × method.
+
+use kishu_workloads::{all_notebooks, NotebookSpec};
+
+use crate::methods::{Driver, MethodKind};
+use crate::report::{fmt_duration, Table};
+
+/// Fig 15: after running a whole notebook with per-cell checkpoints,
+/// measure the time to undo the last state-modifying cell (restore to the
+/// state before it).
+pub fn fig15(scale: f64) -> Table {
+    let mut columns = vec!["Notebook".to_string()];
+    columns.extend(MethodKind::ALL.iter().map(|m| m.label().to_string()));
+    let cols: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Fig 15", "checkout time for undoing a cell execution", &cols);
+    for nb in all_notebooks(scale) {
+        let mut row = vec![nb.name.to_string()];
+        for kind in MethodKind::ALL {
+            row.push(undo_time(&nb, kind));
+        }
+        t.row(row);
+    }
+    t.note("paper: Kishu is sub-second and up to 8.18x faster than the next best; CRIU-Inc is slowest (chain reassembly) and kills the kernel");
+    t
+}
+
+fn undo_time(nb: &NotebookSpec, kind: MethodKind) -> String {
+    let mut d = Driver::new(kind);
+    for c in &nb.cells {
+        d.run_cell(c);
+    }
+    if d.failed.is_some() {
+        return "FAIL".to_string();
+    }
+    // Undo the last cell: restore the state as of the second-to-last
+    // checkpoint.
+    let target = nb.cells.len().saturating_sub(2);
+    match d.restore_to(target) {
+        Ok(cost) => fmt_duration(cost.time),
+        Err(_) => "FAIL".to_string(),
+    }
+}
+
+/// Fig 16: run the notebook, branch off before the first model-training
+/// cell, re-run to the end (branch 2), then measure switching back to
+/// branch 1's final state.
+pub fn fig16(scale: f64) -> Table {
+    let mut columns = vec!["Notebook".to_string()];
+    columns.extend(MethodKind::ALL.iter().map(|m| m.label().to_string()));
+    let cols: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(
+        "Fig 16",
+        "checkout time for switching to a branched session state",
+        &cols,
+    );
+    for nb in all_notebooks(scale) {
+        let mut row = vec![nb.name.to_string()];
+        for kind in MethodKind::ALL {
+            row.push(branch_switch_time(&nb, kind));
+        }
+        t.row(row);
+    }
+    t.note("paper: Kishu sub-second on most notebooks (up to 4.18x faster); Det-replay can be pathological when a fitting chain must be replayed");
+    t
+}
+
+/// Index of the branch point: the cell before the first training cell.
+pub fn branch_point(nb: &NotebookSpec) -> usize {
+    nb.cells
+        .iter()
+        .position(|c| c.src.contains(".fit("))
+        .unwrap_or(nb.cells.len() / 2)
+        .saturating_sub(1)
+}
+
+fn branch_switch_time(nb: &NotebookSpec, kind: MethodKind) -> String {
+    let mut d = Driver::new(kind);
+    for c in &nb.cells {
+        d.run_cell(c);
+    }
+    if d.failed.is_some() {
+        return "FAIL".to_string();
+    }
+    let branch1_end = nb.cells.len() - 1;
+    let fork = branch_point(nb);
+    if d.restore_to(fork).is_err() {
+        return "FAIL".to_string();
+    }
+    // Branch 2: re-run the remainder.
+    for c in &nb.cells[fork + 1..] {
+        d.run_cell(c);
+    }
+    if d.failed.is_some() {
+        return "FAIL".to_string();
+    }
+    // Switch back to branch 1's final state.
+    match d.restore_to(branch1_end) {
+        Ok(cost) => fmt_duration(cost.time),
+        Err(_) => "FAIL".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kishu_workloads::notebooks;
+    use std::time::Duration;
+
+    fn undo_duration(nb: &NotebookSpec, kind: MethodKind) -> Option<Duration> {
+        let mut d = Driver::new(kind);
+        for c in &nb.cells {
+            d.run_cell(c);
+        }
+        if d.failed.is_some() {
+            return None;
+        }
+        let target = nb.cells.len().saturating_sub(2);
+        d.restore_to(target).ok().map(|c| c.time)
+    }
+
+    #[test]
+    fn kishu_undo_beats_full_restores() {
+        // The Sklearn undo case from §7.5.1: the last delta is tiny, so
+        // incremental checkout must be much faster than re-loading the
+        // whole state.
+        let nb = notebooks::sklearn(0.3);
+        let kishu = undo_duration(&nb, MethodKind::Kishu).expect("kishu works");
+        let dump = undo_duration(&nb, MethodKind::DumpSession).expect("dump works");
+        assert!(
+            kishu < dump,
+            "incremental undo ({kishu:?}) must beat a complete load ({dump:?})"
+        );
+    }
+
+    #[test]
+    fn criu_incremental_restore_reads_the_whole_chain() {
+        let nb = notebooks::hw_lm(0.05);
+        let mut d = Driver::new(MethodKind::CriuIncremental);
+        for c in &nb.cells {
+            d.run_cell(c);
+        }
+        let cost = d.restore_to(nb.cells.len() - 2).expect("restores");
+        // The chain is every checkpoint so far; its read volume dwarfs the
+        // one-cell delta.
+        let mut k = Driver::new(MethodKind::Kishu);
+        for c in &nb.cells {
+            k.run_cell(c);
+        }
+        let kcost = k.restore_to(nb.cells.len() - 2).expect("kishu restores");
+        assert!(
+            cost.bytes_read > 10 * kcost.bytes_read.max(1),
+            "criu-inc read {} vs kishu {}",
+            cost.bytes_read,
+            kcost.bytes_read
+        );
+    }
+
+    #[test]
+    fn branch_switch_restores_branch1_state() {
+        let nb = notebooks::cluster(0.05);
+        let mut d = Driver::new(MethodKind::Kishu);
+        for c in &nb.cells {
+            d.run_cell(c);
+        }
+        let b1 = d.probe("best").expect("bound");
+        let fork = branch_point(&nb);
+        d.restore_to(fork).expect("fork");
+        for c in &nb.cells[fork + 1..] {
+            d.run_cell(c);
+        }
+        d.restore_to(nb.cells.len() - 1).expect("switch back");
+        assert_eq!(d.probe("best").as_deref(), Some(b1.as_str()));
+    }
+}

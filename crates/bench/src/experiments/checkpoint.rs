@@ -1,0 +1,160 @@
+//! Fig 13 (cumulative incremental checkpoint sizes) and Fig 14 (cumulative
+//! checkpoint times): run every notebook under every method, checkpointing
+//! after each cell.
+
+use std::time::Duration;
+
+use kishu_workloads::{all_notebooks, NotebookSpec};
+
+use crate::methods::{Driver, MethodKind};
+use crate::report::{fmt_bytes, fmt_duration, Table};
+
+/// One (notebook, method) run's checkpoint totals.
+#[derive(Debug, Clone)]
+pub struct CkptTotals {
+    /// Notebook name.
+    pub notebook: &'static str,
+    /// Method label.
+    pub method: &'static str,
+    /// Cumulative checkpoint bytes (`None` = the method failed on this
+    /// notebook).
+    pub bytes: Option<u64>,
+    /// Cumulative checkpoint time.
+    pub time: Option<Duration>,
+    /// Total notebook cell-execution time (method-independent).
+    pub cell_time: Duration,
+}
+
+/// Run one notebook under one method, checkpointing per cell.
+pub fn run_notebook(nb: &NotebookSpec, kind: MethodKind) -> CkptTotals {
+    let mut d = Driver::new(kind);
+    let mut bytes = 0u64;
+    let mut time = Duration::ZERO;
+    let mut cell_time = Duration::ZERO;
+    for c in &nb.cells {
+        let cost = d.run_cell(c);
+        bytes += cost.ckpt_bytes;
+        time += cost.ckpt_time;
+        cell_time += cost.cell_time;
+    }
+    let failed = d.failed.is_some();
+    CkptTotals {
+        notebook: nb.name,
+        method: kind.label(),
+        bytes: (!failed).then_some(bytes),
+        time: (!failed).then_some(time),
+        cell_time,
+    }
+}
+
+/// Run everything once; the raw grid behind Figs 13 and 14.
+pub fn run_all(scale: f64) -> Vec<CkptTotals> {
+    let mut out = Vec::new();
+    for nb in all_notebooks(scale) {
+        for kind in MethodKind::ALL {
+            out.push(run_notebook(&nb, kind));
+        }
+    }
+    out
+}
+
+/// Fig 13: cumulative checkpoint storage per notebook × method.
+pub fn fig13(grid: &[CkptTotals]) -> Table {
+    let mut columns = vec!["Notebook".to_string()];
+    columns.extend(MethodKind::ALL.iter().map(|m| m.label().to_string()));
+    let cols: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Fig 13", "cumulative incremental checkpoint storage cost", &cols);
+    for nb_rows in grid.chunks(MethodKind::ALL.len()) {
+        let mut row = vec![nb_rows[0].notebook.to_string()];
+        for r in nb_rows {
+            row.push(match r.bytes {
+                Some(b) => fmt_bytes(b),
+                None => "FAIL".to_string(),
+            });
+        }
+        t.row(row);
+    }
+    t.note("paper: Kishu consistently smallest (except Det-replay); CRIU largest; CRIU fails on TorchGPU+Ray; DumpSession fails on Qiskit");
+    t
+}
+
+/// Fig 14: cumulative checkpoint time per notebook × method (plus notebook
+/// runtime for the overhead-% claim).
+pub fn fig14(grid: &[CkptTotals]) -> Table {
+    let mut columns = vec!["Notebook".to_string(), "cell runtime".to_string()];
+    columns.extend(MethodKind::ALL.iter().map(|m| m.label().to_string()));
+    let cols: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Fig 14", "cumulative incremental checkpoint time", &cols);
+    for nb_rows in grid.chunks(MethodKind::ALL.len()) {
+        let mut row = vec![
+            nb_rows[0].notebook.to_string(),
+            fmt_duration(nb_rows[0].cell_time),
+        ];
+        for r in nb_rows {
+            row.push(match r.time {
+                Some(d) => fmt_duration(d),
+                None => "FAIL".to_string(),
+            });
+        }
+        t.row(row);
+    }
+    t.note("paper: Kishu lowest on most notebooks (≤15.5% of runtime); CRIU-Inc occasionally faster but unreliable; EN pays its profiling pass");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kishu_workloads::notebooks;
+
+    #[test]
+    fn kishu_beats_full_dumps_on_an_incremental_notebook() {
+        let nb = notebooks::hw_lm(0.1);
+        let kishu = run_notebook(&nb, MethodKind::Kishu);
+        let dump = run_notebook(&nb, MethodKind::DumpSession);
+        let criu = run_notebook(&nb, MethodKind::CriuFull);
+        let kb = kishu.bytes.expect("kishu never fails");
+        let db = dump.bytes.expect("dump handles HW-LM");
+        let cb = criu.bytes.expect("criu handles HW-LM");
+        assert!(kb < db, "Kishu {kb} should beat DumpSession {db}");
+        assert!(db < cb, "DumpSession {db} should beat CRIU {cb}");
+    }
+
+    #[test]
+    fn criu_fails_exactly_on_the_off_process_notebooks() {
+        for nb in all_notebooks(0.02) {
+            let r = run_notebook(&nb, MethodKind::CriuIncremental);
+            let should_fail = matches!(nb.name, "TorchGPU" | "Ray");
+            assert_eq!(
+                r.bytes.is_none(),
+                should_fail,
+                "{}: CRIU-Inc failure mismatch",
+                nb.name
+            );
+        }
+    }
+
+    #[test]
+    fn dump_session_fails_exactly_on_qiskit() {
+        for nb in all_notebooks(0.02) {
+            let r = run_notebook(&nb, MethodKind::DumpSession);
+            assert_eq!(
+                r.bytes.is_none(),
+                nb.name == "Qiskit",
+                "{}: DumpSession failure mismatch",
+                nb.name
+            );
+        }
+    }
+
+    #[test]
+    fn det_replay_stores_less_than_kishu() {
+        let nb = notebooks::cluster(0.05);
+        let kishu = run_notebook(&nb, MethodKind::Kishu);
+        let det = run_notebook(&nb, MethodKind::KishuDetReplay);
+        assert!(
+            det.bytes.expect("det ok") < kishu.bytes.expect("kishu ok"),
+            "skipping deterministic cells must save space"
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! Experiment implementations, one module per paper artifact group.
+
+pub mod checkout;
+pub mod checkpoint;
+pub mod robustness;
+pub mod sweeps;
+pub mod tracking;
+pub mod workload_tables;

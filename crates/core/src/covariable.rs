@@ -1,0 +1,286 @@
+//! Co-variables (§4.1): connected components of variables.
+//!
+//! A co-variable is a maximal set of variable names whose reachable objects
+//! form one connected component (Definition 1). Membership is computed by
+//! intersecting VarGraph reachable sets (Fig 7): a union-find keyed on
+//! object handles merges every pair of variables that can reach a common
+//! object. Co-variables are identified by their sorted member-name set —
+//! the same identity the Checkpoint Graph versions over time.
+
+use std::collections::{BTreeSet, HashMap};
+
+use kishu_kernel::ObjId;
+
+use crate::vargraph::VarGraph;
+
+/// A co-variable's identity: its sorted member names.
+pub type CoVarKey = BTreeSet<String>;
+
+/// Compute the co-variable partition of a set of variables from their
+/// VarGraphs' reachable sets. Returns components sorted by their smallest
+/// member name (deterministic).
+pub fn components(vars: &[(&str, &VarGraph)]) -> Vec<CoVarKey> {
+    let mut dsu = Dsu::new(vars.len());
+    let mut owner: HashMap<ObjId, usize> = HashMap::new();
+    for (i, (_, graph)) in vars.iter().enumerate() {
+        for obj in &graph.reachable {
+            match owner.get(obj) {
+                Some(j) => dsu.union(i, *j),
+                None => {
+                    owner.insert(*obj, i);
+                }
+            }
+        }
+    }
+    let mut groups: HashMap<usize, CoVarKey> = HashMap::new();
+    for (i, (name, _)) in vars.iter().enumerate() {
+        groups
+            .entry(dsu.find(i))
+            .or_default()
+            .insert(name.to_string());
+    }
+    let mut out: Vec<CoVarKey> = groups.into_values().collect();
+    out.sort_by(|a, b| a.iter().next().cmp(&b.iter().next()));
+    out
+}
+
+/// The current co-variable partition of a session's namespace.
+///
+/// Kept by the delta detector across cells; only the components touching an
+/// accessed variable are recomputed per cell (Lemma 1's pruning).
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    covars: Vec<CoVarKey>,
+    var_to_covar: HashMap<String, usize>,
+}
+
+impl Partition {
+    /// Empty partition (fresh session).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current components.
+    pub fn covars(&self) -> &[CoVarKey] {
+        &self.covars
+    }
+
+    /// Component containing `name`, if any.
+    pub fn covar_of(&self, name: &str) -> Option<&CoVarKey> {
+        self.var_to_covar.get(name).map(|i| &self.covars[*i])
+    }
+
+    /// Indices of components whose members intersect `names`.
+    pub fn intersecting(&self, names: &BTreeSet<String>) -> Vec<usize> {
+        let mut idxs: BTreeSet<usize> = BTreeSet::new();
+        for n in names {
+            if let Some(i) = self.var_to_covar.get(n) {
+                idxs.insert(*i);
+            }
+        }
+        idxs.into_iter().collect()
+    }
+
+    /// Replace the components at `old_indices` with `new_components`,
+    /// leaving all other components untouched. Returns the keys of the old
+    /// components that no longer exist (deleted or re-shaped).
+    pub fn replace(&mut self, old_indices: &[usize], new_components: Vec<CoVarKey>) -> Vec<CoVarKey> {
+        let old_set: BTreeSet<usize> = old_indices.iter().copied().collect();
+        let mut kept: Vec<CoVarKey> = Vec::with_capacity(self.covars.len());
+        let mut removed: Vec<CoVarKey> = Vec::new();
+        for (i, c) in self.covars.drain(..).enumerate() {
+            if old_set.contains(&i) {
+                removed.push(c);
+            } else {
+                kept.push(c);
+            }
+        }
+        let new_keys: BTreeSet<&CoVarKey> = new_components.iter().collect();
+        let vanished: Vec<CoVarKey> = removed
+            .into_iter()
+            .filter(|c| !new_keys.contains(c))
+            .collect();
+        kept.extend(new_components);
+        self.covars = kept;
+        self.reindex();
+        vanished
+    }
+
+    /// Rebuild the whole partition (used at checkout, when arbitrary
+    /// variables were replaced).
+    pub fn reset(&mut self, components: Vec<CoVarKey>) {
+        self.covars = components;
+        self.reindex();
+    }
+
+    fn reindex(&mut self) {
+        self.var_to_covar.clear();
+        for (i, c) in self.covars.iter().enumerate() {
+            for n in c {
+                self.var_to_covar.insert(n.clone(), i);
+            }
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.covars.len()
+    }
+
+    /// Whether there are no components.
+    pub fn is_empty(&self) -> bool {
+        self.covars.is_empty()
+    }
+}
+
+struct Dsu {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+/// Convenience: a sorted-key set from names.
+pub fn key(names: &[&str]) -> CoVarKey {
+    names.iter().map(|s| s.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vargraph::{VarGraph, VarGraphConfig};
+    use kishu_libsim::Registry;
+    use kishu_minipy::Interp;
+    use std::rc::Rc;
+
+    fn graphs_for(interp: &Interp, names: &[&str]) -> Vec<(String, VarGraph)> {
+        let cfg = VarGraphConfig {
+            registry: Rc::new(Registry::standard()),
+            hash_arrays: true,
+            hash_primitive_lists: false,
+        };
+        let mut nonce = 0;
+        names
+            .iter()
+            .map(|n| {
+                let root = interp.globals.peek(n).expect("bound");
+                (n.to_string(), VarGraph::build(&interp.heap, root, &cfg, &mut nonce))
+            })
+            .collect()
+    }
+
+    fn run(interp: &mut Interp, src: &str) {
+        let out = interp.run_cell(src).expect("parses");
+        assert!(out.error.is_none(), "{:?}", out.error);
+    }
+
+    #[test]
+    fn fig3_example_partition() {
+        // {ser, obj} share 'b'; {df} is independent.
+        let mut i = Interp::new();
+        run(
+            &mut i,
+            "ser = series('mood', ['a', 'b', 'c'])\nobj = Object()\nobj.foo = ser.values[1]\ndf = read_csv('x', 5, 2, 1)\n",
+        );
+        let graphs = graphs_for(&i, &["ser", "obj", "df"]);
+        let refs: Vec<(&str, &VarGraph)> = graphs.iter().map(|(n, g)| (n.as_str(), g)).collect();
+        let comps = components(&refs);
+        assert_eq!(comps.len(), 2);
+        assert!(comps.contains(&key(&["ser", "obj"])));
+        assert!(comps.contains(&key(&["df"])));
+    }
+
+    #[test]
+    fn transitive_sharing_forms_one_component() {
+        let mut i = Interp::new();
+        run(&mut i, "a = [1]\nb = [a]\nc = [b]\nd = [42]\n");
+        let graphs = graphs_for(&i, &["a", "b", "c", "d"]);
+        let refs: Vec<(&str, &VarGraph)> = graphs.iter().map(|(n, g)| (n.as_str(), g)).collect();
+        let comps = components(&refs);
+        assert!(comps.contains(&key(&["a", "b", "c"])));
+        assert!(comps.contains(&key(&["d"])));
+    }
+
+    #[test]
+    fn singletons_stay_separate() {
+        let mut i = Interp::new();
+        run(&mut i, "x = 1\ny = 1\nz = 'same'\n");
+        let graphs = graphs_for(&i, &["x", "y", "z"]);
+        let refs: Vec<(&str, &VarGraph)> = graphs.iter().map(|(n, g)| (n.as_str(), g)).collect();
+        // Equal values but distinct objects: three singleton co-variables.
+        assert_eq!(components(&refs).len(), 3);
+    }
+
+    #[test]
+    fn aliasing_merges() {
+        let mut i = Interp::new();
+        run(&mut i, "x = [1, 2]\ny = x\n");
+        let graphs = graphs_for(&i, &["x", "y"]);
+        let refs: Vec<(&str, &VarGraph)> = graphs.iter().map(|(n, g)| (n.as_str(), g)).collect();
+        assert_eq!(components(&refs), vec![key(&["x", "y"])]);
+    }
+
+    #[test]
+    fn partition_replace_tracks_deletions() {
+        let mut p = Partition::new();
+        p.reset(vec![key(&["a", "b"]), key(&["c"]), key(&["d"])]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.covar_of("b"), Some(&key(&["a", "b"])));
+        // Split {a,b} into {a} and {b}; {c} untouched; re-shape removes the
+        // old key.
+        let affected = p.intersecting(&key(&["a"]));
+        let vanished = p.replace(&affected, vec![key(&["a"]), key(&["b"])]);
+        assert_eq!(vanished, vec![key(&["a", "b"])]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.covar_of("a"), Some(&key(&["a"])));
+        assert_eq!(p.covar_of("c"), Some(&key(&["c"])));
+    }
+
+    #[test]
+    fn partition_replace_keeps_identical_components() {
+        let mut p = Partition::new();
+        p.reset(vec![key(&["a", "b"]), key(&["c"])]);
+        let affected = p.intersecting(&key(&["a"]));
+        let vanished = p.replace(&affected, vec![key(&["a", "b"])]);
+        assert!(vanished.is_empty(), "same shape: nothing vanished");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn intersecting_finds_by_any_member() {
+        let mut p = Partition::new();
+        p.reset(vec![key(&["a", "b"]), key(&["c"]), key(&["d", "e"])]);
+        let hits = p.intersecting(&key(&["b", "e", "zz"]));
+        assert_eq!(hits.len(), 2);
+    }
+}

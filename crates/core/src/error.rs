@@ -1,0 +1,73 @@
+//! Kishu-level errors.
+
+use std::fmt;
+
+use kishu_minipy::RunError;
+use kishu_pickle::PickleError;
+
+use crate::graph::NodeId;
+
+/// Errors surfaced by checkpoint/checkout operations.
+#[derive(Debug)]
+pub enum KishuError {
+    /// The requested checkpoint id does not exist.
+    UnknownNode(NodeId),
+    /// A co-variable could not be restored: its checkpoint is missing or
+    /// unloadable *and* fallback recomputation failed.
+    RestoreFailed {
+        /// The co-variable's member names.
+        covariable: Vec<String>,
+        /// Why the final fallback attempt failed.
+        reason: String,
+    },
+    /// Storage I/O failure.
+    Storage(std::io::Error),
+    /// Serialization failure that was not recoverable by fallback.
+    Pickle(PickleError),
+    /// A cell re-run during fallback recomputation raised.
+    Recompute(RunError),
+}
+
+impl fmt::Display for KishuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KishuError::UnknownNode(id) => write!(f, "unknown checkpoint {id:?}"),
+            KishuError::RestoreFailed { covariable, reason } => {
+                write!(f, "failed to restore co-variable {covariable:?}: {reason}")
+            }
+            KishuError::Storage(e) => write!(f, "storage error: {e}"),
+            KishuError::Pickle(e) => write!(f, "serialization error: {e}"),
+            KishuError::Recompute(e) => write!(f, "fallback recomputation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KishuError {}
+
+impl From<std::io::Error> for KishuError {
+    fn from(e: std::io::Error) -> Self {
+        KishuError::Storage(e)
+    }
+}
+
+impl From<PickleError> for KishuError {
+    fn from(e: PickleError) -> Self {
+        KishuError::Pickle(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = KishuError::RestoreFailed {
+            covariable: vec!["gmm".into()],
+            reason: "no checkpoint".into(),
+        };
+        assert!(e.to_string().contains("gmm"));
+        let e = KishuError::UnknownNode(NodeId(9));
+        assert!(e.to_string().contains('9'));
+    }
+}

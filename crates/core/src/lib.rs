@@ -1,0 +1,59 @@
+//! # kishu — time-traveling for computational notebooks
+//!
+//! This crate is the paper's primary contribution: efficient and
+//! fault-tolerant *time-traveling* between notebook session states via
+//! incremental checkpoint and checkout at **co-variable** granularity.
+//!
+//! ## The pieces (paper section in parentheses)
+//!
+//! * [`vargraph`] — per-variable reachable-object graphs capturing object
+//!   type, address, structure, and primitive values (§4.2). Comparing a
+//!   variable's VarGraph before and after a cell execution detects updates
+//!   with **no false negatives**; conservative false positives arise only
+//!   from dynamically generated or opaque objects.
+//! * [`covariable`] — co-variables: maximal sets of variable names whose
+//!   reachable objects form one connected component (§4.1, Definition 1).
+//!   They are the minimum granularity at which state can be stored/loaded
+//!   without breaking shared references.
+//! * [`delta`] — the Delta Detector (§4.3): uses the patched namespace's
+//!   per-cell access record to prune the co-variables that *surely weren't*
+//!   updated (Lemma 1), then verifies the rest by VarGraph comparison and
+//!   recomputes merges/splits.
+//! * [`graph`] — the Checkpoint Graph (§5.1): a timestamped tree of
+//!   incremental checkpoints holding versioned co-variables, cell code, and
+//!   dependencies; session states (Definition 5), identical/diverged
+//!   classification (Definition 6), and lowest-common-ancestor queries.
+//! * [`session`] — [`KishuSession`]: the end-to-end system. `run_cell`
+//!   executes a cell, detects the state delta, and writes an incremental
+//!   checkpoint; `checkout` restores any previous state by loading **only**
+//!   the diverged co-variables into the live kernel (§5.2), falling back to
+//!   recursive recomputation for data that failed to store or load (§5.3).
+//! * [`xxh64`] — the XXH64 hash used for the array fast path (§6.2),
+//!   implemented in-repo.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use kishu::session::{KishuConfig, KishuSession};
+//!
+//! let mut s = KishuSession::in_memory(KishuConfig::default());
+//! s.run_cell("df = read_csv('data', 100, 4, 7)\n").unwrap();
+//! let before = s.head();
+//! s.run_cell("df = df.drop('c1')\n").unwrap();
+//! assert_eq!(s.run_cell("len(df.columns)\n").unwrap().outcome.value_repr.as_deref(), Some("3"));
+//! s.checkout(before).unwrap();   // un-drop the column
+//! assert_eq!(s.run_cell("len(df.columns)\n").unwrap().outcome.value_repr.as_deref(), Some("4"));
+//! ```
+
+pub mod covariable;
+pub mod delta;
+pub mod error;
+pub mod graph;
+pub mod rules;
+pub mod session;
+pub mod vargraph;
+pub mod xxh64;
+
+pub use error::KishuError;
+pub use graph::{CheckpointGraph, NodeId};
+pub use session::{CellReport, CheckoutReport, KishuConfig, KishuSession};

@@ -1,0 +1,126 @@
+//! Rule-based static cell analysis (§6.2's second extension).
+//!
+//! Kishu's update detection is always sound but pays a VarGraph
+//! regeneration for every accessed co-variable — even for the read-only
+//! printing cells §7.6 highlights (`y_train[:10]`, `df.head` inspections),
+//! where the paper observes up to 1.06× overhead for zero state change.
+//! The paper proposes rule-based identification of such *statically
+//! read-only* cells as future work; this module implements the
+//! conservative version:
+//!
+//! A cell is **provably read-only** when every statement is a bare
+//! expression whose calls are restricted to a whitelist of pure builtins
+//! and pure methods. Assignments, deletions, augmented assignments, loops
+//! (whose bodies could mutate), user-function calls (arbitrary effects),
+//! and any non-whitelisted call disqualify the cell. For qualifying cells
+//! the delta detector is skipped entirely — sound because the interpreter
+//! cannot mutate the heap while evaluating such expressions.
+
+use kishu_minipy::ast::{Expr, Stmt};
+
+/// Builtins that never mutate state.
+const PURE_BUILTINS: [&str; 12] = [
+    "print", "len", "sum", "min", "max", "abs", "str", "repr", "type", "id", "bool", "float",
+];
+
+/// Methods that never mutate their receiver (read-only views/reductions).
+const PURE_METHODS: [&str; 12] = [
+    "head", "mean", "std", "describe", "keys", "values", "items", "copy", "count", "index",
+    "tolist", "score",
+];
+
+/// Whether a parsed cell is provably read-only under the rules above.
+pub fn cell_is_read_only(program: &[Stmt]) -> bool {
+    !program.is_empty() && program.iter().all(stmt_is_read_only)
+}
+
+fn stmt_is_read_only(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Expr(e) => expr_is_read_only(e),
+        Stmt::Pass => true,
+        _ => false,
+    }
+}
+
+fn expr_is_read_only(e: &Expr) -> bool {
+    match e {
+        Expr::None
+        | Expr::Bool(_)
+        | Expr::Int(_)
+        | Expr::Float(_)
+        | Expr::Str(_)
+        | Expr::Name(_) => true,
+        Expr::List(items) | Expr::Tuple(items) | Expr::Set(items) => {
+            items.iter().all(expr_is_read_only)
+        }
+        Expr::Dict(pairs) => pairs
+            .iter()
+            .all(|(k, v)| expr_is_read_only(k) && expr_is_read_only(v)),
+        Expr::BinOp { left, right, .. } => expr_is_read_only(left) && expr_is_read_only(right),
+        Expr::Unary { operand, .. } => expr_is_read_only(operand),
+        Expr::BoolOp { operands, .. } => operands.iter().all(expr_is_read_only),
+        Expr::Compare { left, rest } => {
+            expr_is_read_only(left) && rest.iter().all(|(_, e)| expr_is_read_only(e))
+        }
+        Expr::Attr(obj, _) => expr_is_read_only(obj),
+        Expr::Index(obj, idx) => expr_is_read_only(obj) && expr_is_read_only(idx),
+        Expr::Slice(lo, hi) => {
+            lo.as_deref().map(expr_is_read_only).unwrap_or(true)
+                && hi.as_deref().map(expr_is_read_only).unwrap_or(true)
+        }
+        Expr::Call { func, args, kwargs } => {
+            let callee_ok = match func.as_ref() {
+                // Whitelisted pure builtin by bare name.
+                Expr::Name(n) => PURE_BUILTINS.contains(&n.as_str()),
+                // Whitelisted pure method on a read-only receiver.
+                Expr::Attr(obj, method) => {
+                    PURE_METHODS.contains(&method.as_str()) && expr_is_read_only(obj)
+                }
+                _ => false,
+            };
+            callee_ok
+                && args.iter().all(expr_is_read_only)
+                && kwargs.iter().all(|(_, e)| expr_is_read_only(e))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kishu_minipy::parse_program;
+
+    fn read_only(src: &str) -> bool {
+        cell_is_read_only(&parse_program(src).expect("parses"))
+    }
+
+    #[test]
+    fn printing_and_slicing_cells_qualify() {
+        assert!(read_only("y_train[:10]\n"));
+        assert!(read_only("print(df.head(5))\n"));
+        assert!(read_only("len(sad_ls)\n"));
+        assert!(read_only("df.describe()\n"));
+        assert!(read_only("x + y * 2\n"));
+        assert!(read_only("d.keys()\n"));
+        assert!(read_only("a[0] == b.attr\n"));
+    }
+
+    #[test]
+    fn mutating_cells_do_not_qualify() {
+        assert!(!read_only("x = 1\n"));
+        assert!(!read_only("ls.append(1)\n"));
+        assert!(!read_only("del x\n"));
+        assert!(!read_only("x += 1\n"));
+        assert!(!read_only("for k in range(3):\n    pass\n"));
+        assert!(!read_only("model.fit(3)\n"));
+        assert!(!read_only("custom_function(x)\n"), "user calls have effects");
+        assert!(!read_only("print(poke())\n"), "nested unknown call");
+        assert!(!read_only(""), "empty cells are not classified");
+    }
+
+    #[test]
+    fn whitelisted_method_on_mutating_receiver_is_rejected() {
+        // The receiver expression itself must be read-only too.
+        assert!(!read_only("f(x).head(3)\n"));
+    }
+}

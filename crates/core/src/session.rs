@@ -1,0 +1,918 @@
+//! [`KishuSession`]: the end-to-end time-traveling notebook session.
+//!
+//! Ties every piece together the way Fig 5 draws it: the minipy interpreter
+//! is the kernel, its patched namespace produces per-cell access records,
+//! the [`DeltaDetector`] turns them into co-variable state deltas, each
+//! delta is pickled per co-variable into the [`CheckpointStore`] and
+//! committed to the [`CheckpointGraph`], and `checkout` restores any past
+//! state by loading only the diverged co-variables — falling back to
+//! recursive recomputation (§5.3) when bytes are missing or refuse to load.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use kishu_kernel::{ObjId, ObjKind};
+use kishu_libsim::{LibReducer, Registry};
+use kishu_minipy::{CellOutcome, Interp, RunError};
+use kishu_pickle::{dumps, loads};
+use kishu_storage::{CheckpointStore, MemoryStore, StoreStats};
+
+use crate::covariable::CoVarKey;
+use crate::delta::DeltaDetector;
+use crate::error::KishuError;
+use crate::graph::{CheckpointGraph, NodeId, StoredCoVar};
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct KishuConfig {
+    /// Disable Lemma 1 candidate pruning and verify every co-variable after
+    /// every cell (the AblatedKishu "Check all" baseline).
+    pub check_all: bool,
+    /// Use the XXH64 fast path for array contents in VarGraphs (§6.2).
+    pub hash_arrays: bool,
+    /// Write an incremental checkpoint after every cell execution.
+    pub auto_checkpoint: bool,
+    /// Library class names whose co-variables are never stored; checkout
+    /// always restores them by fallback recomputation (§6.2's blocklist for
+    /// silently erroneous classes).
+    pub blocklist: BTreeSet<String>,
+    /// Garbage-collect unreachable heap objects after each cell.
+    pub gc_after_cell: bool,
+    /// Skip delta detection entirely for cells that are *provably
+    /// read-only* under the static rules of [`crate::rules`] — the §6.2
+    /// rule-based extension targeting the printing cells of §7.6.
+    pub rule_based_cells: bool,
+    /// Collapse primitive-only lists into digest nodes in VarGraphs — the
+    /// §7.6 "list hashing" extension. See
+    /// [`crate::vargraph::VarGraphConfig::hash_primitive_lists`].
+    pub hash_primitive_lists: bool,
+    /// Defer checkpoint serialization into the user's *think time* (§2.2):
+    /// `run_cell` commits the node immediately with metadata only, and the
+    /// bytes are written by [`KishuSession::flush_pending`] — which is
+    /// invoked automatically before the next cell execution or checkout
+    /// (the state cannot change in between, so deferral is safe).
+    pub defer_serialization: bool,
+}
+
+impl Default for KishuConfig {
+    fn default() -> Self {
+        KishuConfig {
+            check_all: false,
+            hash_arrays: true,
+            auto_checkpoint: true,
+            blocklist: BTreeSet::new(),
+            gc_after_cell: true,
+            rule_based_cells: false,
+            hash_primitive_lists: false,
+            defer_serialization: false,
+        }
+    }
+}
+
+/// Per-cell measurements (drives Tables 6 and Figs 13/14/17).
+#[derive(Debug, Clone)]
+pub struct CellMetrics {
+    /// Checkpoint node created for the cell.
+    pub node: NodeId,
+    /// Cell execution wall time.
+    pub cell_time: Duration,
+    /// Delta-detection (tracking) time.
+    pub tracking_time: Duration,
+    /// Serialization + store-write time.
+    pub checkpoint_time: Duration,
+    /// Bytes written for this cell's checkpoint.
+    pub checkpoint_bytes: u64,
+    /// Updated co-variables in the delta.
+    pub covars_updated: usize,
+    /// Candidate co-variables verified.
+    pub candidates_checked: usize,
+}
+
+/// Aggregated session measurements.
+#[derive(Debug, Clone, Default)]
+pub struct SessionMetrics {
+    /// Per-cell entries in execution order.
+    pub cells: Vec<CellMetrics>,
+}
+
+impl SessionMetrics {
+    /// Total tracking time across cells.
+    pub fn total_tracking(&self) -> Duration {
+        self.cells.iter().map(|c| c.tracking_time).sum()
+    }
+
+    /// Total checkpoint (serialize + write) time across cells.
+    pub fn total_checkpoint(&self) -> Duration {
+        self.cells.iter().map(|c| c.checkpoint_time).sum()
+    }
+
+    /// Total cell execution wall time.
+    pub fn total_cell_time(&self) -> Duration {
+        self.cells.iter().map(|c| c.cell_time).sum()
+    }
+
+    /// Total checkpoint bytes written.
+    pub fn total_checkpoint_bytes(&self) -> u64 {
+        self.cells.iter().map(|c| c.checkpoint_bytes).sum()
+    }
+}
+
+/// Result of [`KishuSession::run_cell`].
+#[derive(Debug)]
+pub struct CellReport {
+    /// Checkpoint node committed for this cell.
+    pub node: NodeId,
+    /// The interpreter-level outcome (output, value, error, access record).
+    pub outcome: CellOutcome,
+    /// Updated co-variables (the state delta stored in the checkpoint).
+    pub updated: Vec<CoVarKey>,
+    /// Tracking (delta detection) time.
+    pub tracking_time: Duration,
+    /// Checkpoint serialize+write time.
+    pub checkpoint_time: Duration,
+    /// Bytes written.
+    pub checkpoint_bytes: u64,
+}
+
+/// Result of [`KishuSession::checkout`].
+#[derive(Debug)]
+pub struct CheckoutReport {
+    /// The restored node (new head).
+    pub target: NodeId,
+    /// Co-variables loaded from checkpoints.
+    pub loaded: Vec<CoVarKey>,
+    /// Co-variables restored by fallback recomputation (§5.3).
+    pub recomputed: Vec<CoVarKey>,
+    /// Variables removed from the namespace.
+    pub removed: Vec<CoVarKey>,
+    /// Co-variables untouched because they were identical (the incremental
+    /// win of §5.2).
+    pub identical: usize,
+    /// Checkpoint bytes read.
+    pub bytes_loaded: u64,
+    /// End-to-end checkout wall time.
+    pub wall_time: Duration,
+}
+
+/// A time-traveling notebook session.
+pub struct KishuSession {
+    /// The simulated kernel (public so examples and experiments can inspect
+    /// the namespace and heap directly).
+    pub interp: Interp,
+    registry: Rc<Registry>,
+    reducer: LibReducer,
+    detector: DeltaDetector,
+    graph: CheckpointGraph,
+    store: Box<dyn CheckpointStore>,
+    config: KishuConfig,
+    metrics: SessionMetrics,
+    /// Co-variables committed but not yet serialized (think-time deferral).
+    pending: Vec<(NodeId, CoVarKey)>,
+    /// Allocation high-water mark at the last garbage collection.
+    last_gc_allocs: u64,
+}
+
+impl KishuSession {
+    /// Attach Kishu to a fresh kernel session writing checkpoints to
+    /// `store`. This is the `init` step of §3.2: the namespace patch is
+    /// armed and the Checkpoint Graph initialized with its root.
+    pub fn new(store: Box<dyn CheckpointStore>, config: KishuConfig) -> Self {
+        let registry = Rc::new(Registry::standard());
+        let mut interp = Interp::new();
+        kishu_libsim::install(&mut interp, registry.clone());
+        let mut vg_config = crate::vargraph::VarGraphConfig::new(registry.clone());
+        vg_config.hash_arrays = config.hash_arrays;
+        vg_config.hash_primitive_lists = config.hash_primitive_lists;
+        let detector = DeltaDetector::with_config(vg_config, config.check_all);
+        KishuSession {
+            interp,
+            reducer: LibReducer::new(registry.clone()),
+            registry,
+            detector,
+            graph: CheckpointGraph::new(),
+            store,
+            config,
+            metrics: SessionMetrics::default(),
+            pending: Vec::new(),
+            last_gc_allocs: 0,
+        }
+    }
+
+    /// Session with an in-memory checkpoint store.
+    pub fn in_memory(config: KishuConfig) -> Self {
+        Self::new(Box::new(MemoryStore::new()), config)
+    }
+
+    /// Current head checkpoint.
+    pub fn head(&self) -> NodeId {
+        self.graph.head()
+    }
+
+    /// The checkpoint graph (read-only).
+    pub fn graph(&self) -> &CheckpointGraph {
+        &self.graph
+    }
+
+    /// The class registry this session simulates libraries from.
+    pub fn registry(&self) -> &Rc<Registry> {
+        &self.registry
+    }
+
+    /// Storage accounting.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Session measurements.
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
+    }
+
+    /// The current co-variable partition (Table 7's co-variable counts).
+    pub fn covariables(&self) -> Vec<CoVarKey> {
+        self.detector.partition().covars().to_vec()
+    }
+
+    /// The `log` command: one line per checkpoint, head marked with `*`.
+    pub fn log(&self) -> Vec<String> {
+        self.graph.log()
+    }
+
+    /// Persist the Checkpoint Graph metadata into the checkpoint store (as
+    /// a tagged blob alongside the co-variable data). Together with a
+    /// durable store this makes the whole session resumable after the
+    /// kernel process dies — see [`Self::resume`].
+    pub fn persist(&mut self) -> Result<(), KishuError> {
+        // Deferred co-variables must hit storage before the graph snapshot,
+        // or the snapshot would point at blobs that never materialize.
+        self.flush_pending();
+        let mut blob = GRAPH_BLOB_MAGIC.to_vec();
+        let json = serde_json::to_vec(&self.graph)
+            .map_err(|e| KishuError::Storage(std::io::Error::other(e)))?;
+        blob.extend_from_slice(&json);
+        self.store.put(&blob)?;
+        Ok(())
+    }
+
+    /// Attach to a **fresh kernel** and restore the most recently persisted
+    /// session from `store`: the Checkpoint Graph is recovered from its
+    /// latest snapshot blob and the head state is checked out (loading
+    /// co-variable data, falling back to recomputation where needed). This
+    /// is crash recovery / session migration built from the same primitives
+    /// as time-traveling.
+    pub fn resume(store: Box<dyn CheckpointStore>, config: KishuConfig) -> Result<Self, KishuError> {
+        let mut graph = None;
+        for i in (0..store.blob_count()).rev() {
+            let blob = store.get(i)?;
+            if blob.starts_with(GRAPH_BLOB_MAGIC) {
+                if let Ok(g) = serde_json::from_slice::<CheckpointGraph>(&blob[GRAPH_BLOB_MAGIC.len()..]) {
+                    graph = Some(g);
+                    break;
+                }
+            }
+        }
+        let graph = graph.ok_or_else(|| KishuError::RestoreFailed {
+            covariable: Vec::new(),
+            reason: "no persisted checkpoint graph found in the store".into(),
+        })?;
+        let target = graph.head();
+        let mut session = Self::new(store, config);
+        session.graph = graph;
+        let root = session.graph.root();
+        session.graph.set_head(root);
+        session.checkout(target)?;
+        Ok(session)
+    }
+
+    /// Execute one cell: run, detect the delta, write the incremental
+    /// checkpoint, commit the node, and advance the head.
+    ///
+    /// Returns `Err` only for syntax errors (nothing executed). A runtime
+    /// error inside the cell still produces a checkpoint — its partial
+    /// mutations are real and must be undoable.
+    pub fn run_cell(&mut self, src: &str) -> Result<CellReport, RunError> {
+        self.run_cell_with(src, true)
+    }
+
+    /// Like [`Self::run_cell`], but with per-cell control over data
+    /// storage. With `store_data: false` the checkpoint node records the
+    /// cell's code, delta keys, and dependencies but writes **no** bytes —
+    /// checkout then reconstructs those co-variables by replaying the cell
+    /// (fallback recomputation). This is the primitive behind the
+    /// Kishu+Det-replay baseline (§7.1): skip storage after cells annotated
+    /// deterministic.
+    pub fn run_cell_with(&mut self, src: &str, store_data: bool) -> Result<CellReport, RunError> {
+        // Think-time deferral: anything still pending belongs to the
+        // previous cell and must hit storage before this cell can mutate
+        // the objects it references.
+        self.flush_pending();
+        let outcome = self.interp.run_cell(src)?;
+        let delta = if self.config.rule_based_cells && self.cell_provably_read_only(src) {
+            // Rule-based fast path (§6.2 extension): the cell cannot have
+            // changed the state, so skip VarGraph verification entirely and
+            // record only the dependencies the patched namespace observed.
+            let start = Instant::now();
+            let partition = self.detector.partition();
+            let dependencies: Vec<CoVarKey> = partition
+                .intersecting(&outcome.access.gets.iter().cloned().collect())
+                .into_iter()
+                .map(|i| partition.covars()[i].clone())
+                .collect();
+            crate::delta::StateDelta {
+                updated: Vec::new(),
+                deleted: Vec::new(),
+                dependencies,
+                candidates_checked: 0,
+                vars_rebuilt: 0,
+                tracking_time: start.elapsed(),
+            }
+        } else {
+            self.detector
+                .on_cell(&self.interp.heap, &self.interp.globals, &outcome.access)
+        };
+
+        let cp_start = Instant::now();
+        let mut checkpoint_bytes = 0u64;
+        let mut deferred: Vec<CoVarKey> = Vec::new();
+        let mut stored: Vec<StoredCoVar> = Vec::with_capacity(delta.updated.len());
+        if self.config.auto_checkpoint {
+            // Resolve dependency versions against the pre-commit head state.
+            let head_state = self.graph.state_at(self.graph.head());
+            let deps: Vec<(CoVarKey, NodeId)> = delta
+                .dependencies
+                .iter()
+                .filter_map(|k| head_state.get(k).map(|v| (k.clone(), *v)))
+                .collect();
+            for key in &delta.updated {
+                let roots: Vec<ObjId> = key
+                    .iter()
+                    .filter_map(|n| self.interp.globals.peek(n))
+                    .collect();
+                let record = if !store_data || roots.len() != key.len() || self.is_blocklisted(&roots) {
+                    StoredCoVar {
+                        names: key.clone(),
+                        blob: None,
+                        bytes: 0,
+                    }
+                } else if self.config.defer_serialization {
+                    deferred.push(key.clone());
+                    StoredCoVar {
+                        names: key.clone(),
+                        blob: None,
+                        bytes: 0,
+                    }
+                } else {
+                    match dumps(&self.interp.heap, &roots, &self.reducer) {
+                        Ok(bytes) => {
+                            let len = bytes.len() as u64;
+                            match self.store.put(&bytes) {
+                                Ok(id) => {
+                                    checkpoint_bytes += len;
+                                    StoredCoVar {
+                                        names: key.clone(),
+                                        blob: Some(id),
+                                        bytes: len,
+                                    }
+                                }
+                                Err(_) => StoredCoVar {
+                                    names: key.clone(),
+                                    blob: None,
+                                    bytes: 0,
+                                },
+                            }
+                        }
+                        // Unserializable co-variable: skip storage, rely on
+                        // fallback recomputation (§5.1).
+                        Err(_) => StoredCoVar {
+                            names: key.clone(),
+                            blob: None,
+                            bytes: 0,
+                        },
+                    }
+                };
+                stored.push(record);
+            }
+            let node = self
+                .graph
+                .commit(src.to_string(), stored, delta.deleted.clone(), deps);
+            for key in deferred {
+                self.pending.push((node, key));
+            }
+        }
+        let checkpoint_time = cp_start.elapsed();
+
+        if self.config.gc_after_cell {
+            // Amortize: a mark-sweep scans every slot ever allocated, so
+            // collecting after every tiny cell would make GC cost grow with
+            // session age. Collect only once enough new allocations piled
+            // up since the last sweep.
+            let allocs = self.interp.heap.stats().total_allocated;
+            if allocs - self.last_gc_allocs > 4096 {
+                self.interp.gc();
+                self.last_gc_allocs = allocs;
+            }
+        }
+
+        let node = self.graph.head();
+        self.metrics.cells.push(CellMetrics {
+            node,
+            cell_time: outcome.wall_time,
+            tracking_time: delta.tracking_time,
+            checkpoint_time,
+            checkpoint_bytes,
+            covars_updated: delta.updated.len(),
+            candidates_checked: delta.candidates_checked,
+        });
+
+        Ok(CellReport {
+            node,
+            outcome,
+            updated: delta.updated,
+            tracking_time: delta.tracking_time,
+            checkpoint_time,
+            checkpoint_bytes,
+        })
+    }
+
+    /// Serialize and store any co-variables whose checkpointing was
+    /// deferred into think time. Safe to call at any point between cells;
+    /// called automatically before the next cell execution and before any
+    /// checkout. Returns the number of co-variables flushed.
+    pub fn flush_pending(&mut self) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        let start = Instant::now();
+        let pending = std::mem::take(&mut self.pending);
+        let mut flushed = 0;
+        for (node, key) in pending {
+            let roots: Vec<ObjId> = key
+                .iter()
+                .filter_map(|n| self.interp.globals.peek(n))
+                .collect();
+            if roots.len() != key.len() {
+                continue; // vanished between cells (checkout raced): falls
+                          // back to recomputation like any missing blob
+            }
+            if let Ok(bytes) = dumps(&self.interp.heap, &roots, &self.reducer) {
+                if let Ok(id) = self.store.put(&bytes) {
+                    self.graph.set_stored(node, &key, id, bytes.len() as u64);
+                    flushed += 1;
+                }
+            }
+        }
+        if let Some(last) = self.metrics.cells.last_mut() {
+            last.checkpoint_time += start.elapsed();
+            // Note: flush bytes are reflected in store_stats(), not in the
+            // originating cell's checkpoint_bytes (which measured the
+            // user-visible latency).
+        }
+        flushed
+    }
+
+    /// Number of co-variables currently awaiting their think-time flush.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn cell_provably_read_only(&self, src: &str) -> bool {
+        kishu_minipy::parse_program(src)
+            .map(|program| crate::rules::cell_is_read_only(&program))
+            .unwrap_or(false)
+    }
+
+    fn is_blocklisted(&self, roots: &[ObjId]) -> bool {
+        if self.config.blocklist.is_empty() {
+            return false;
+        }
+        roots.iter().any(|r| {
+            self.interp.heap.reachable_from(*r).iter().any(|id| {
+                if let ObjKind::External { class, .. } = self.interp.heap.kind(*id) {
+                    self.registry
+                        .get(*class)
+                        .map(|spec| self.config.blocklist.contains(spec.name))
+                        .unwrap_or(false)
+                } else {
+                    false
+                }
+            })
+        })
+    }
+
+    /// Incremental checkout (§5.2): restore the session to the state at
+    /// `target`, loading only diverged co-variables, deleting variables
+    /// absent in the target, and leaving identical co-variables untouched
+    /// in the live kernel. Missing/unloadable data is reconstructed by
+    /// fallback recomputation (§5.3).
+    pub fn checkout(&mut self, target: NodeId) -> Result<CheckoutReport, KishuError> {
+        let start = Instant::now();
+        self.flush_pending();
+        if !self.graph.contains(target) {
+            return Err(KishuError::UnknownNode(target));
+        }
+        let plan = self.graph.diff(self.graph.head(), target);
+
+        let mut changed: BTreeSet<String> = BTreeSet::new();
+        let mut loaded = Vec::new();
+        let mut recomputed = Vec::new();
+        let mut bytes_loaded = 0u64;
+
+        // Removals must precede loads: a target co-variable's member names
+        // can overlap a (differently-shaped) current co-variable slated for
+        // removal — e.g. `{x,y}` diverged into `{x,y,z}` — and removing
+        // after loading would delete just-restored bindings.
+        for key in &plan.remove {
+            for name in key {
+                self.interp.globals.delete_untracked(name);
+                changed.insert(name.clone());
+            }
+        }
+        let mut ctx = RestoreCtx::default();
+        for (key, version) in &plan.load {
+            let (bindings, how) = self.materialize(key, *version, &mut ctx, 0)?;
+            for (name, obj) in bindings {
+                self.interp.globals.set_untracked(&name, obj);
+                changed.insert(name);
+            }
+            match how {
+                Materialized::Loaded(n) => {
+                    bytes_loaded += n;
+                    loaded.push(key.clone());
+                }
+                Materialized::Recomputed => recomputed.push(key.clone()),
+            }
+        }
+
+        // Regenerate VarGraphs for what changed (§5.2 step 2) and move the
+        // head (step 3).
+        self.detector
+            .resync_after_checkout(&self.interp.heap, &self.interp.globals, &changed);
+        self.graph.set_head(target);
+        // No GC here: collection scans every slot ever allocated, which
+        // would dominate sub-millisecond undos; the next cell execution
+        // collects anyway.
+
+        Ok(CheckoutReport {
+            target,
+            loaded,
+            recomputed,
+            removed: plan.remove,
+            identical: plan.identical.len(),
+            bytes_loaded,
+            wall_time: start.elapsed(),
+        })
+    }
+
+    /// Materialize one versioned co-variable: load its checkpoint if
+    /// possible, otherwise recursively recompute it (Fig 11).
+    ///
+    /// Results are memoized in `ctx` for the duration of one checkout:
+    /// diamond dependencies (two recomputations needing the same versioned
+    /// input) reuse the first materialization, and only a revisit *along
+    /// the current recursion path* (`ctx.in_progress`) is a true dependency
+    /// cycle.
+    fn materialize(
+        &mut self,
+        key: &CoVarKey,
+        version: NodeId,
+        ctx: &mut RestoreCtx,
+        depth: usize,
+    ) -> Result<(Vec<(String, ObjId)>, Materialized), KishuError> {
+        let memo_key = (key.iter().cloned().collect::<Vec<String>>(), version);
+        if let Some(bindings) = ctx.memo.get(&memo_key) {
+            return Ok((bindings.clone(), Materialized::Recomputed));
+        }
+        if depth > MAX_FALLBACK_DEPTH || !ctx.in_progress.insert(memo_key.clone()) {
+            return Err(KishuError::RestoreFailed {
+                covariable: key.iter().cloned().collect(),
+                reason: "fallback recomputation hit a dependency cycle or its depth limit".into(),
+            });
+        }
+        let result = self.materialize_uncached(key, version, ctx, depth);
+        ctx.in_progress.remove(&memo_key);
+        if let Ok((bindings, _)) = &result {
+            ctx.memo.insert(memo_key, bindings.clone());
+        }
+        result
+    }
+
+    fn materialize_uncached(
+        &mut self,
+        key: &CoVarKey,
+        version: NodeId,
+        ctx: &mut RestoreCtx,
+        depth: usize,
+    ) -> Result<(Vec<(String, ObjId)>, Materialized), KishuError> {
+        let stored = self.graph.stored(key, version).cloned();
+        if let Some(sc) = &stored {
+            if let Some(blob) = sc.blob {
+                if let Ok(bytes) = self.store.get(blob) {
+                    match loads(&mut self.interp.heap, &bytes, &self.reducer) {
+                        Ok(roots) if roots.len() == key.len() => {
+                            let bindings = key.iter().cloned().zip(roots).collect();
+                            return Ok((bindings, Materialized::Loaded(bytes.len() as u64)));
+                        }
+                        // Deserialization failure: fall through to
+                        // recomputation.
+                        _ => {}
+                    }
+                }
+            }
+        }
+        self.fallback_recompute(key, version, ctx, depth)
+            .map(|b| (b, Materialized::Recomputed))
+    }
+
+    /// Fallback recomputation (§5.3): load the cell's recorded dependency
+    /// co-variables (recursively materializing them), re-run the cell's
+    /// code in a temporary namespace, and extract the target co-variable.
+    fn fallback_recompute(
+        &mut self,
+        key: &CoVarKey,
+        version: NodeId,
+        ctx: &mut RestoreCtx,
+        depth: usize,
+    ) -> Result<Vec<(String, ObjId)>, KishuError> {
+        let node = self.graph.node(version).clone();
+        if node.cell_code.is_empty() {
+            return Err(KishuError::RestoreFailed {
+                covariable: key.iter().cloned().collect(),
+                reason: "no cell code recorded (root node)".into(),
+            });
+        }
+        let mut bindings: Vec<(String, ObjId)> = Vec::new();
+        for (dkey, dversion) in &node.deps {
+            let (dep_bindings, _) = self.materialize(dkey, *dversion, ctx, depth + 1)?;
+            bindings.extend(dep_bindings);
+        }
+        let result = self
+            .interp
+            .run_cell_in_temp_namespace(&node.cell_code, bindings)
+            .map_err(KishuError::Recompute)?;
+        let mut out = Vec::with_capacity(key.len());
+        for name in key {
+            match result.iter().find(|(n, _)| n == name) {
+                Some((n, o)) => out.push((n.clone(), *o)),
+                None => {
+                    return Err(KishuError::RestoreFailed {
+                        covariable: key.iter().cloned().collect(),
+                        reason: format!("re-running the cell did not produce `{name}`"),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Maximum recursion depth for fallback recomputation chains (a chain as
+/// long as the notebook itself is legitimate in replay-heavy sessions).
+const MAX_FALLBACK_DEPTH: usize = 512;
+
+/// Tag prefix of persisted Checkpoint Graph blobs in the store.
+const GRAPH_BLOB_MAGIC: &[u8; 4] = b"KGRF";
+
+enum Materialized {
+    Loaded(u64),
+    Recomputed,
+}
+
+/// Per-checkout restoration state: memoized materializations plus the
+/// current recursion path for real-cycle detection.
+#[derive(Default)]
+struct RestoreCtx {
+    memo: std::collections::BTreeMap<(Vec<String>, NodeId), Vec<(String, ObjId)>>,
+    in_progress: BTreeSet<(Vec<String>, NodeId)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::covariable::key;
+
+    fn session() -> KishuSession {
+        KishuSession::in_memory(KishuConfig::default())
+    }
+
+    fn run(s: &mut KishuSession, src: &str) -> CellReport {
+        let report = s.run_cell(src).expect("parses");
+        assert!(
+            report.outcome.error.is_none(),
+            "cell failed: {:?}",
+            report.outcome.error
+        );
+        report
+    }
+
+    fn value(s: &mut KishuSession, expr: &str) -> String {
+        let report = run(s, &format!("{expr}\n"));
+        report.outcome.value_repr.unwrap_or_default()
+    }
+
+    #[test]
+    fn undo_a_dropped_column() {
+        // The paper's headline use case (§2.1): un-drop a dataframe column.
+        let mut s = session();
+        run(&mut s, "df = read_csv('data', 50, 4, 7)\n");
+        let before = s.head();
+        run(&mut s, "df = df.drop('c1')\n");
+        assert_eq!(value(&mut s, "len(df.columns)"), "3");
+        let report = s.checkout(before).expect("checkout");
+        assert!(report.loaded.contains(&key(&["df"])));
+        assert_eq!(value(&mut s, "len(df.columns)"), "4");
+    }
+
+    #[test]
+    fn identical_covariables_are_not_reloaded() {
+        let mut s = session();
+        run(&mut s, "big = read_csv('big', 2000, 8, 1)\n");
+        run(&mut s, "small = [1, 2]\n");
+        let before = s.head();
+        run(&mut s, "small.append(3)\n");
+        let report = s.checkout(before).expect("checkout");
+        assert_eq!(report.loaded, vec![key(&["small"])]);
+        assert!(report.identical >= 1, "big must be identical/untouched");
+        assert_eq!(value(&mut s, "len(small)"), "2");
+        assert_eq!(value(&mut s, "len(big.columns)"), "8");
+    }
+
+    #[test]
+    fn checkout_removes_later_variables() {
+        let mut s = session();
+        run(&mut s, "a = 1\n");
+        let early = s.head();
+        run(&mut s, "b = 2\n");
+        s.checkout(early).expect("checkout");
+        assert!(!s.interp.globals.contains("b"));
+        assert!(s.interp.globals.contains("a"));
+    }
+
+    #[test]
+    fn branching_matches_fig10() {
+        let mut s = session();
+        run(&mut s, "df = read_csv('d', 20, 3, 1)\ngmm = lib_obj('sk.GaussianMixture', 128, 1)\n");
+        let t1 = s.head();
+        run(&mut s, "gmm.fit(3)\n");
+        run(&mut s, "plot = gmm.result(16)\n");
+        let t3 = s.head();
+        let plot3 = value(&mut s, "plot.sum()");
+        s.checkout(t1).expect("back to t1");
+        run(&mut s, "gmm.fit(10)\n");
+        run(&mut s, "plot = gmm.result(16)\n");
+        let t5 = s.head();
+        let plot5 = value(&mut s, "plot.sum()");
+        assert_ne!(plot3, plot5, "branches diverged");
+        // Switch back to the first branch.
+        let report = s.checkout(t3).expect("branch switch");
+        assert_eq!(value(&mut s, "plot.sum()"), plot3);
+        // df was identical across branches: never reloaded.
+        assert!(report.identical >= 1);
+        let back = s.checkout(t5).expect("switch again");
+        assert_eq!(value(&mut s, "plot.sum()"), plot5);
+        let _ = back;
+    }
+
+    #[test]
+    fn shared_references_survive_checkout() {
+        // Restoring a co-variable must not break intra-component sharing:
+        // `obj.foo` aliases an element of `ser`'s backing list, so a
+        // mutation through either path must stay visible through the other
+        // — before AND after a checkout restores the component.
+        let mut s = session();
+        run(&mut s, "ser = series('m', [['a'], ['b'], ['c']])\nobj = Object()\nobj.foo = ser.values[1]\n");
+        let before = s.head();
+        run(&mut s, "ser.values[1].append('z')\n");
+        assert_eq!(value(&mut s, "len(obj.foo)"), "2"); // shared: both see it
+        s.checkout(before).expect("checkout");
+        assert_eq!(value(&mut s, "len(obj.foo)"), "1");
+        // Sharing still intact after restore: mutate through ser again.
+        run(&mut s, "ser.values[1].append('q')\n");
+        assert_eq!(value(&mut s, "len(obj.foo)"), "2");
+    }
+
+    #[test]
+    fn unserializable_covariable_restored_by_recomputation() {
+        let mut s = session();
+        run(&mut s, "seed = 5\n");
+        let report = run(&mut s, "lazy = lib_obj('pl.LazyFrame', 64, 5)\nmarker = 123\n");
+        // The co-variable containing the unserializable object was skipped.
+        let node = report.node;
+        let sc = s
+            .graph()
+            .node(node)
+            .delta
+            .iter()
+            .find(|sc| sc.names.contains("lazy"))
+            .expect("lazy in delta");
+        assert!(sc.blob.is_none(), "unserializable: no bytes stored");
+        let target = s.head();
+        run(&mut s, "del lazy\n");
+        let report = s.checkout(target).expect("checkout with fallback");
+        assert!(report.recomputed.contains(&key(&["lazy"])));
+        assert_eq!(value(&mut s, "type(lazy)"), "'external'");
+    }
+
+    #[test]
+    fn deserialize_failure_triggers_fallback() {
+        let mut s = session();
+        run(&mut s, "fig = lib_obj('bokeh.figure', 64, 3)\n");
+        let target = s.head();
+        run(&mut s, "fig = 0\n");
+        let report = s.checkout(target).expect("checkout");
+        // Stored fine (dump works) but load fails -> recomputed.
+        assert!(report.recomputed.contains(&key(&["fig"])));
+        assert_eq!(value(&mut s, "type(fig)"), "'external'");
+    }
+
+    #[test]
+    fn recursive_fallback_walks_the_chain() {
+        // Fig 11: plot@t3 recomputes from gmm@t2; if gmm@t2 is also
+        // unloadable it recomputes from gmm@t1. We force the whole chain to
+        // be unserializable via the blocklist.
+        let mut config = KishuConfig::default();
+        config.blocklist.insert("sk.GaussianMixture".to_string());
+        let mut s = KishuSession::in_memory(config);
+        run(&mut s, "gmm = lib_obj('sk.GaussianMixture', 64, 1)\n");
+        run(&mut s, "gmm.fit(3)\n");
+        run(&mut s, "plot = gmm.result(8)\n");
+        let t3 = s.head();
+        let plot_val = value(&mut s, "plot.sum()");
+        run(&mut s, "del plot\ndel gmm\n");
+        let report = s.checkout(t3).expect("recursive fallback");
+        assert!(report.recomputed.contains(&key(&["gmm"])));
+        assert_eq!(value(&mut s, "plot.sum()"), plot_val, "deterministic chain reproduces");
+    }
+
+    #[test]
+    fn blocklist_forces_recomputation() {
+        let mut config = KishuConfig::default();
+        config.blocklist.insert("wordcloud.WordCloud".to_string());
+        let mut s = KishuSession::in_memory(config);
+        let report = run(&mut s, "wc = lib_obj('wordcloud.WordCloud', 32, 2)\n");
+        let sc = &s.graph().node(report.node).delta[0];
+        assert!(sc.blob.is_none(), "blocklisted class is never stored");
+    }
+
+    #[test]
+    fn failed_cells_still_checkpoint_their_mutations() {
+        let mut s = session();
+        run(&mut s, "ls = [1]\n");
+        let before = s.head();
+        // The cell mutates, then raises.
+        let report = s.run_cell("ls.append(2)\nboom()\n").expect("parses");
+        assert!(report.outcome.error.is_some());
+        assert!(report.updated.contains(&key(&["ls"])), "mutation before raise captured");
+        s.checkout(before).expect("undo the half-executed cell");
+        assert_eq!(value(&mut s, "len(ls)"), "1");
+    }
+
+    #[test]
+    fn checkout_to_unknown_node_fails() {
+        let mut s = session();
+        assert!(matches!(
+            s.checkout(NodeId(99)),
+            Err(KishuError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn exact_restoration_bytestring_equality() {
+        // §5.3 Remark: serializable co-variables restore to the same
+        // bytestring.
+        let mut s = session();
+        run(&mut s, "data = [1, 'two', 3.0, [4, 5]]\n");
+        let target = s.head();
+        let roots = vec![s.interp.globals.peek("data").expect("bound")];
+        let before = dumps(&s.interp.heap, &roots, &kishu_pickle::NoopReducer).expect("dump");
+        run(&mut s, "data.append(6)\n");
+        s.checkout(target).expect("checkout");
+        let roots = vec![s.interp.globals.peek("data").expect("bound")];
+        let after = dumps(&s.interp.heap, &roots, &kishu_pickle::NoopReducer).expect("dump");
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut s = session();
+        run(&mut s, "x = zeros(100)\n");
+        run(&mut s, "x[0] = 1.0\n");
+        let m = s.metrics();
+        assert_eq!(m.cells.len(), 2);
+        assert!(m.total_checkpoint_bytes() > 0);
+        assert!(s.store_stats().blobs >= 2);
+        assert_eq!(s.log().len(), 3); // root + 2 cells
+    }
+
+    #[test]
+    fn undo_in_place_numpy_slice_update() {
+        // §4.3 Remark: arr[0] += 1 is memory-based but reference-invoked.
+        let mut s = session();
+        run(&mut s, "arr = arange(10)\n");
+        let before = s.head();
+        run(&mut s, "arr[0] += 100\n");
+        assert_eq!(value(&mut s, "arr[0]"), "100.0");
+        s.checkout(before).expect("undo");
+        assert_eq!(value(&mut s, "arr[0]"), "0.0");
+    }
+}

@@ -1,0 +1,36 @@
+//! # kishu-libsim — the 146 simulated data-science library classes
+//!
+//! The paper's generalizability claims (§7.2) are quantified over 146 object
+//! classes from popular data-science libraries (Table 3), of which specific
+//! subsets defeat specific mechanisms (Table 4) or degrade Kishu's update
+//! detection from "success" to "conservative" (Table 5). None of those
+//! results depend on the classes' numerics — only on *how many classes
+//! exhibit which pathology*. This crate therefore provides:
+//!
+//! * a [`Registry`] of 146 named classes across the paper's 8 categories,
+//!   each carrying a [`Behavior`] with the flags that drive the experiments:
+//!   - `unserializable` (5 classes) — reduction refuses at dump time
+//!     (`pl.LazyFrame`-like); DumpSession dies, Kishu falls back to
+//!     recomputation;
+//!   - `deserialize_fails` (2) — stores fine, refuses to rebuild
+//!     (`bokeh.figure`-like);
+//!   - `silent_error` (5) — round-trips without raising but wrong (§6.2);
+//!   - together those 12 are the Table 5 "Pickle Error" bucket
+//!     ([`Behavior::nondet_pickle`]);
+//!   - `dynamic_identity` (14) — traversal sees freshly generated reachable
+//!     objects each time, producing Table 5's false positives;
+//!   - `off_process` (6) — state lives in another process or on a device
+//!     (Spark/Ray/GPU tensors); OS-level snapshots cannot capture it;
+//! * [`LibReducer`] — a [`kishu_pickle::Reducer`] enforcing those flags;
+//! * [`install`] — registers constructors and an
+//!   [`ExternalDispatch`](kishu_minipy::interp::ExternalDispatch) so minipy
+//!   cells can create and mutate these objects (`m = lib_obj('sk.GMM')`,
+//!   `m.fit(...)`).
+
+pub mod dispatch;
+pub mod reducer;
+pub mod registry;
+
+pub use dispatch::{install, LibDispatch};
+pub use reducer::LibReducer;
+pub use registry::{Behavior, Category, ClassSpec, Registry};

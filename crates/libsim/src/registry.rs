@@ -1,0 +1,401 @@
+//! The class registry: 146 simulated classes, Table 3's categories,
+//! Tables 4/5's behavioural flags.
+
+use std::collections::HashMap;
+
+use kishu_kernel::ClassId;
+
+/// The eight library categories of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// pandas, polars, pyarrow, numpy, ...
+    DataAnalysis,
+    /// matplotlib, plotly, seaborn, bokeh, ...
+    DataVisualization,
+    /// sklearn, xgboost, scipy, statsmodels, ...
+    MachineLearning,
+    /// tensorflow, torch, keras, jax, ...
+    DeepLearning,
+    /// nltk, textblob, spacy, gensim, ...
+    Nlp,
+    /// photutils, torchvision, opencv, ...
+    ComputerVision,
+    /// pyspark, ray, dask, optuna, ...
+    DistComputing,
+    /// huggingface, transformers, airflow, ...
+    DataPipelining,
+}
+
+impl Category {
+    /// All categories, in Table 3 order.
+    pub const ALL: [Category; 8] = [
+        Category::DataAnalysis,
+        Category::DataVisualization,
+        Category::MachineLearning,
+        Category::DeepLearning,
+        Category::Nlp,
+        Category::ComputerVision,
+        Category::DistComputing,
+        Category::DataPipelining,
+    ];
+
+    /// Display name as in Table 3.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::DataAnalysis => "Data Analysis",
+            Category::DataVisualization => "Data Visualization",
+            Category::MachineLearning => "Machine Learning",
+            Category::DeepLearning => "Deep Learning",
+            Category::Nlp => "NLP",
+            Category::ComputerVision => "Computer Vision",
+            Category::DistComputing => "Dist. Computing",
+            Category::DataPipelining => "Data Pipelining",
+        }
+    }
+}
+
+/// Behavioural flags of one class — the drivers of Figs 12 and Tables 4/5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Behavior {
+    /// Reduction refuses at dump time (`pl.LazyFrame`-like). DumpSession
+    /// fails outright; Kishu skips storage and uses fallback recomputation.
+    pub unserializable: bool,
+    /// Stores fine but refuses to rebuild (`bokeh.figure`-like).
+    pub deserialize_fails: bool,
+    /// Round-trips without raising, but the rebuilt payload is wrong
+    /// (§6.2's silent serialization errors).
+    pub silent_error: bool,
+    /// Traversal encounters freshly generated reachable objects on every
+    /// visit (dynamically created datatype objects), so VarGraph comparison
+    /// conservatively reports an update whenever the object is accessed —
+    /// Table 5's false positives.
+    pub dynamic_identity: bool,
+    /// The class's real state lives outside the kernel process (Spark/Ray
+    /// workers, GPU memory). OS-level snapshots cannot capture it; Kishu's
+    /// reduction-based storage can.
+    pub off_process: bool,
+    /// Default payload size in bytes for objects constructed without an
+    /// explicit size.
+    pub default_payload: usize,
+}
+
+impl Behavior {
+    /// Whether the class cannot be *deterministically* stored — the union
+    /// Table 5 reports as "Pickle Error" (12 classes): unserializable,
+    /// deserialize-failing, or silently erroneous.
+    pub fn nondet_pickle(&self) -> bool {
+        self.unserializable || self.deserialize_fails || self.silent_error
+    }
+
+    /// Whether Kishu's update detection must be conservative for this class
+    /// (report an update whenever accessed).
+    pub fn volatile(&self) -> bool {
+        self.nondet_pickle() || self.dynamic_identity
+    }
+}
+
+/// One registered class.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Stable id (index into the registry).
+    pub id: ClassId,
+    /// Qualified name as a notebook user would write it (`sk.GMM`).
+    pub name: &'static str,
+    /// Table 3 category.
+    pub category: Category,
+    /// Behavioural flags.
+    pub behavior: Behavior,
+}
+
+/// The registry of all simulated classes.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    classes: Vec<ClassSpec>,
+    by_name: HashMap<&'static str, ClassId>,
+}
+
+/// Classes whose reduction refuses at dump time (5).
+const UNSERIALIZABLE: [&str; 5] = [
+    "pl.LazyFrame",
+    "ray.ObjectRef",
+    "tf.data.Dataset",
+    "optuna.Study",
+    "hashlib.sha256",
+];
+
+/// Classes that store but refuse to rebuild (2).
+const DESERIALIZE_FAILS: [&str; 2] = ["bokeh.figure", "plotly.FigureWidget"];
+
+/// Classes with silent round-trip corruption (5). With the 7 above, these
+/// form Table 5's 12 "Pickle Error" classes.
+const SILENT_ERROR: [&str; 5] = [
+    "sns.FacetGrid",
+    "nltk.FreqDist",
+    "wordcloud.WordCloud",
+    "keras.History",
+    "xgb.Booster",
+];
+
+/// Classes with dynamically generated reachable objects (14) — Table 5's
+/// false positives.
+const DYNAMIC_IDENTITY: [&str; 14] = [
+    "plt.Figure",
+    "plt.Axes",
+    "plt.Line2D",
+    "plt.Colorbar",
+    "sns.PairGrid",
+    "altair.Chart",
+    "spacy.Doc",
+    "spacy.Token",
+    "re.Match",
+    "nltk.Tree",
+    "sm.SARIMAX",
+    "dask.Delayed",
+    "airflow.DAG",
+    "PIL.Image",
+];
+
+/// Classes whose state lives off-process (6) — Table 4's CRIU failures.
+const OFF_PROCESS: [&str; 6] = [
+    "pyspark.sql.DataFrame",
+    "ray.data.Dataset",
+    "tf.Tensor",
+    "torch.Tensor",
+    "transformers.Pipeline",
+    "transformers.BertTokenizer",
+];
+
+const DATA_ANALYSIS: [&str; 20] = [
+    "pd.DataFrame", "pd.Series", "pd.Index", "pd.MultiIndex", "pd.Categorical",
+    "pd.Timestamp", "pd.Timedelta", "pd.GroupBy", "pl.DataFrame", "pl.Series",
+    "pl.LazyFrame", "pa.Table", "pa.RecordBatch", "pa.Array", "pa.Schema",
+    "np.ndarray", "np.matrix", "np.ma.MaskedArray", "np.recarray",
+    "scipy.sparse.csr_matrix",
+];
+
+const DATA_VISUALIZATION: [&str; 18] = [
+    "plt.Figure", "plt.Axes", "plt.Line2D", "plt.Colorbar", "sns.FacetGrid",
+    "sns.PairGrid", "sns.JointGrid", "sns.ClusterGrid", "plotly.Figure",
+    "plotly.FigureWidget", "plotly.Scatter", "bokeh.figure",
+    "bokeh.ColumnDataSource", "altair.Chart", "folium.Map", "graphviz.Digraph",
+    "pydot.Dot", "mpl.Axes3D",
+];
+
+const MACHINE_LEARNING: [&str; 20] = [
+    "sk.GaussianMixture", "sk.KMeans", "sk.RandomForestClassifier",
+    "sk.LogisticRegression", "sk.LinearRegression", "sk.SVC", "sk.PCA",
+    "sk.StandardScaler", "sk.PowerTransformer", "sk.Pipeline",
+    "sk.GridSearchCV", "sk.TfidfVectorizer", "sk.CountVectorizer",
+    "xgb.Booster", "xgb.DMatrix", "lgb.LGBMClassifier", "cb.CatBoostClassifier",
+    "sm.OLS", "sm.SARIMAX", "scipy.OptimizeResult",
+];
+
+const DEEP_LEARNING: [&str; 18] = [
+    "torch.Tensor", "torch.nn.Module", "torch.optim.Adam", "torch.DataLoader",
+    "torch.cuda.Stream", "tf.Tensor", "tf.Variable", "tf.keras.Model",
+    "tf.data.Dataset", "keras.Sequential", "keras.History", "jax.Array",
+    "flax.Module", "torch.nn.Linear", "torch.nn.Conv2d", "torchmetrics.Accuracy",
+    "lightning.Trainer", "tf.GradientTape",
+];
+
+const NLP: [&str; 18] = [
+    "nltk.Text", "nltk.FreqDist", "nltk.PorterStemmer", "nltk.WordNetLemmatizer",
+    "nltk.Tree", "textblob.TextBlob", "textblob.Sentence", "spacy.Doc",
+    "spacy.Token", "spacy.Language", "gensim.Word2Vec", "gensim.Doc2Vec",
+    "gensim.LdaModel", "wordcloud.WordCloud", "re.Pattern", "re.Match",
+    "sentencepiece.Processor", "tokenizers.Tokenizer",
+];
+
+const COMPUTER_VISION: [&str; 16] = [
+    "cv2.Mat", "PIL.Image", "torchvision.ImageFolder", "torchvision.ResNet34",
+    "photutils.ImageDepth", "photutils.DAOStarFinder", "skimage.ImageCollection",
+    "imageio.Reader", "albumentations.Compose", "kornia.Tensor",
+    "detectron2.Predictor", "mmcv.Config", "ultralytics.YOLO", "timm.Model",
+    "torchvision.Compose", "openslide.Slide",
+];
+
+const DIST_COMPUTING: [&str; 18] = [
+    "pyspark.sql.DataFrame", "pyspark.RDD", "pyspark.Broadcast",
+    "pyspark.SparkContext", "ray.data.Dataset", "ray.ObjectRef", "ray.Actor",
+    "ray.RemoteFunction", "dask.DataFrame", "dask.Bag", "dask.Delayed",
+    "optuna.Study", "optuna.Trial", "mp.Pool", "mp.Queue", "concurrent.Future",
+    "joblib.Parallel", "distributed.Client",
+];
+
+const DATA_PIPELINING: [&str; 18] = [
+    "hf.Dataset", "hf.DatasetDict", "transformers.Pipeline",
+    "transformers.BertTokenizer", "transformers.AutoModel",
+    "transformers.TrainingArguments", "datasets.Features", "airflow.DAG",
+    "luigi.Task", "prefect.Flow", "beam.Pipeline", "kedro.Pipeline", "dvc.Repo",
+    "mlflow.Run", "wandb.Run", "ge.ExpectationSuite", "feast.FeatureStore",
+    "hashlib.sha256",
+];
+
+impl Registry {
+    /// Build the standard 146-class registry.
+    pub fn standard() -> Self {
+        let mut classes = Vec::with_capacity(146);
+        let mut by_name = HashMap::with_capacity(146);
+        let push = |names: &[&'static str], category: Category, classes: &mut Vec<ClassSpec>, by_name: &mut HashMap<&'static str, ClassId>| {
+            for name in names {
+                let id = ClassId(classes.len() as u16);
+                let behavior = Behavior {
+                    unserializable: UNSERIALIZABLE.contains(name),
+                    deserialize_fails: DESERIALIZE_FAILS.contains(name),
+                    silent_error: SILENT_ERROR.contains(name),
+                    dynamic_identity: DYNAMIC_IDENTITY.contains(name),
+                    off_process: OFF_PROCESS.contains(name),
+                    default_payload: default_payload_for(category),
+                };
+                classes.push(ClassSpec {
+                    id,
+                    name,
+                    category,
+                    behavior,
+                });
+                by_name.insert(*name, id);
+            }
+        };
+        push(&DATA_ANALYSIS, Category::DataAnalysis, &mut classes, &mut by_name);
+        push(&DATA_VISUALIZATION, Category::DataVisualization, &mut classes, &mut by_name);
+        push(&MACHINE_LEARNING, Category::MachineLearning, &mut classes, &mut by_name);
+        push(&DEEP_LEARNING, Category::DeepLearning, &mut classes, &mut by_name);
+        push(&NLP, Category::Nlp, &mut classes, &mut by_name);
+        push(&COMPUTER_VISION, Category::ComputerVision, &mut classes, &mut by_name);
+        push(&DIST_COMPUTING, Category::DistComputing, &mut classes, &mut by_name);
+        push(&DATA_PIPELINING, Category::DataPipelining, &mut classes, &mut by_name);
+        Registry { classes, by_name }
+    }
+
+    /// Look a class up by id.
+    pub fn get(&self, id: ClassId) -> Option<&ClassSpec> {
+        self.classes.get(id.0 as usize)
+    }
+
+    /// Look a class up by qualified name.
+    pub fn by_name(&self, name: &str) -> Option<&ClassSpec> {
+        self.by_name.get(name).and_then(|id| self.get(*id))
+    }
+
+    /// All classes, in id order.
+    pub fn classes(&self) -> &[ClassSpec] {
+        &self.classes
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the registry is empty (it never is for `standard()`).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Behaviour of a class id, defaulting to clean for unknown ids.
+    pub fn behavior(&self, id: ClassId) -> Behavior {
+        self.get(id).map(|c| c.behavior).unwrap_or_default()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::standard()
+    }
+}
+
+/// Typical in-memory footprint of a class instance per category: models and
+/// tensors are heavy, handles and patterns are light.
+fn default_payload_for(category: Category) -> usize {
+    match category {
+        Category::DataAnalysis => 64 * 1024,
+        Category::DataVisualization => 32 * 1024,
+        Category::MachineLearning => 128 * 1024,
+        Category::DeepLearning => 256 * 1024,
+        Category::Nlp => 24 * 1024,
+        Category::ComputerVision => 96 * 1024,
+        Category::DistComputing => 4 * 1024,
+        Category::DataPipelining => 16 * 1024,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_146_classes() {
+        let r = Registry::standard();
+        assert_eq!(r.len(), 146);
+    }
+
+    #[test]
+    fn flag_counts_match_the_paper() {
+        let r = Registry::standard();
+        let count = |f: fn(&Behavior) -> bool| r.classes().iter().filter(|c| f(&c.behavior)).count();
+        assert_eq!(count(|b| b.unserializable), 5);
+        assert_eq!(count(|b| b.deserialize_fails), 2);
+        assert_eq!(count(|b| b.silent_error), 5);
+        // Table 4 / Fig 12: DumpSession fails on 7 classes.
+        assert_eq!(count(|b| b.unserializable || b.deserialize_fails), 7);
+        // Table 4 / Fig 12: CRIU fails on 6 classes.
+        assert_eq!(count(|b| b.off_process), 6);
+        // Table 5: 14 false positives, 12 pickle errors, 120 successes.
+        assert_eq!(count(|b| b.dynamic_identity), 14);
+        assert_eq!(count(|b| b.nondet_pickle()), 12);
+        assert_eq!(count(|b| !b.volatile()), 120);
+    }
+
+    #[test]
+    fn buckets_are_disjoint() {
+        let r = Registry::standard();
+        for c in r.classes() {
+            let b = &c.behavior;
+            assert!(
+                !(b.dynamic_identity && b.nondet_pickle()),
+                "{} is in two Table 5 buckets",
+                c.name
+            );
+            assert!(
+                !(b.off_process && b.volatile()),
+                "{} is off-process but not cleanly detectable",
+                c.name
+            );
+            assert!(
+                !(b.unserializable && b.deserialize_fails),
+                "{} has contradictory flags",
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_category_is_populated() {
+        let r = Registry::standard();
+        for cat in Category::ALL {
+            let n = r.classes().iter().filter(|c| c.category == cat).count();
+            assert!(n >= 16, "{} has only {n} classes", cat.label());
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let r = Registry::standard();
+        for c in r.classes() {
+            let found = r.by_name(c.name).expect("name resolves");
+            assert_eq!(found.id, c.id, "duplicate name {}", c.name);
+        }
+        assert!(r.by_name("nonexistent.Class").is_none());
+    }
+
+    #[test]
+    fn table4_classes_have_the_right_flags() {
+        let r = Registry::standard();
+        assert!(r.by_name("pyspark.sql.DataFrame").expect("exists").behavior.off_process);
+        assert!(r.by_name("ray.data.Dataset").expect("exists").behavior.off_process);
+        assert!(r.by_name("tf.Tensor").expect("exists").behavior.off_process);
+        assert!(r.by_name("torch.Tensor").expect("exists").behavior.off_process);
+        assert!(r.by_name("pl.LazyFrame").expect("exists").behavior.unserializable);
+        assert!(r.by_name("bokeh.figure").expect("exists").behavior.deserialize_fails);
+    }
+}

@@ -1,0 +1,297 @@
+//! Abstract syntax tree of minipy.
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Bare expression (its value becomes the cell output when last).
+    Expr(Expr),
+    /// `target = value` (also `a.b = v`, `a[i] = v`).
+    Assign {
+        /// Where the value is stored.
+        target: Target,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `target op= value`.
+    AugAssign {
+        /// Where the value is read and stored.
+        target: Target,
+        /// The arithmetic operator.
+        op: BinOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `del x`, `del a[i]`, `del a.b` (possibly several, comma-separated).
+    Del(Vec<Target>),
+    /// `if` / `elif` / `else` chain. Each arm is `(condition, body)`; the
+    /// final `else` body, if present, is `orelse`.
+    If {
+        /// `(condition, body)` pairs for `if` and each `elif`.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// The `else` body.
+        orelse: Vec<Stmt>,
+    },
+    /// `while cond: body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for var in iter: body`.
+    For {
+        /// Loop variable name.
+        var: String,
+        /// Iterable expression.
+        iter: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `def name(params): body`. `source` is the exact `def` text, kept so
+    /// function objects can be pickled by source (the cloudpickle strategy).
+    FuncDef {
+        /// Function name (bound in the enclosing scope).
+        name: String,
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body statements.
+        body: Vec<Stmt>,
+        /// Reconstructed source text of the whole definition.
+        source: String,
+    },
+    /// `return [expr]`.
+    Return(Option<Expr>),
+    /// `global a, b` — subsequent stores to these names in the current
+    /// function go to the global namespace.
+    Global(Vec<String>),
+    /// `pass`.
+    Pass,
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// Bare name.
+    Name(String),
+    /// `obj.attr`.
+    Attr(Box<Expr>, String),
+    /// `obj[index]`.
+    Index(Box<Expr>, Box<Expr>),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `None`.
+    None,
+    /// `True` / `False`.
+    Bool(bool),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Name lookup.
+    Name(String),
+    /// `[a, b, c]`.
+    List(Vec<Expr>),
+    /// `(a, b)` — requires at least one comma in source.
+    Tuple(Vec<Expr>),
+    /// `{k: v, ...}`.
+    Dict(Vec<(Expr, Expr)>),
+    /// `{a, b}`.
+    Set(Vec<Expr>),
+    /// Binary arithmetic.
+    BinOp {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary `-x` or `not x`.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Short-circuiting `and` / `or` over two or more operands.
+    BoolOp {
+        /// Which connective.
+        op: BoolOpKind,
+        /// Operands, left to right.
+        operands: Vec<Expr>,
+    },
+    /// Chained comparison `a < b <= c`, `x in y`, `x not in y`.
+    Compare {
+        /// Leftmost operand.
+        left: Box<Expr>,
+        /// `(operator, operand)` pairs applied left to right.
+        rest: Vec<(CmpOp, Expr)>,
+    },
+    /// `obj.attr`.
+    Attr(Box<Expr>, String),
+    /// `obj[index]` (index may be a [`Expr::Slice`]).
+    Index(Box<Expr>, Box<Expr>),
+    /// `lo:hi` inside a subscript. Either bound may be omitted.
+    Slice(Option<Box<Expr>>, Option<Box<Expr>>),
+    /// Function or method call. `func` is commonly `Name` (builtin or
+    /// user function) or `Attr` (method call).
+    Call {
+        /// Callee expression.
+        func: Box<Expr>,
+        /// Positional arguments.
+        args: Vec<Expr>,
+        /// Keyword arguments.
+        kwargs: Vec<(String, Expr)>,
+    },
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (true division, always float)
+    Div,
+    /// `//` (floor division)
+    FloorDiv,
+    /// `%`
+    Mod,
+    /// `**`
+    Pow,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `-x`
+    Neg,
+    /// `not x`
+    Not,
+}
+
+/// Boolean connectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoolOpKind {
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `in`
+    In,
+    /// `not in`
+    NotIn,
+}
+
+impl Expr {
+    /// All bare names *read* by this expression, in first-occurrence order.
+    /// Used by the IPyFlow-style static analysis baseline.
+    pub fn referenced_names(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Name(n)
+                if !out.contains(n) => {
+                    out.push(n.clone());
+                }
+            Expr::List(items) | Expr::Tuple(items) | Expr::Set(items) => {
+                for e in items {
+                    e.referenced_names(out);
+                }
+            }
+            Expr::Dict(pairs) => {
+                for (k, v) in pairs {
+                    k.referenced_names(out);
+                    v.referenced_names(out);
+                }
+            }
+            Expr::BinOp { left, right, .. } => {
+                left.referenced_names(out);
+                right.referenced_names(out);
+            }
+            Expr::Unary { operand, .. } => operand.referenced_names(out),
+            Expr::BoolOp { operands, .. } => {
+                for e in operands {
+                    e.referenced_names(out);
+                }
+            }
+            Expr::Compare { left, rest } => {
+                left.referenced_names(out);
+                for (_, e) in rest {
+                    e.referenced_names(out);
+                }
+            }
+            Expr::Attr(obj, _) => obj.referenced_names(out),
+            Expr::Index(obj, idx) => {
+                obj.referenced_names(out);
+                idx.referenced_names(out);
+            }
+            Expr::Slice(lo, hi) => {
+                if let Some(e) = lo {
+                    e.referenced_names(out);
+                }
+                if let Some(e) = hi {
+                    e.referenced_names(out);
+                }
+            }
+            Expr::Call { func, args, kwargs } => {
+                func.referenced_names(out);
+                for e in args {
+                    e.referenced_names(out);
+                }
+                for (_, e) in kwargs {
+                    e.referenced_names(out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_names_dedup_in_order() {
+        let e = Expr::BinOp {
+            op: BinOp::Add,
+            left: Box::new(Expr::Name("a".into())),
+            right: Box::new(Expr::BinOp {
+                op: BinOp::Mul,
+                left: Box::new(Expr::Name("b".into())),
+                right: Box::new(Expr::Name("a".into())),
+            }),
+        };
+        let mut names = Vec::new();
+        e.referenced_names(&mut names);
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Runtime and syntax errors of minipy cells.
+
+use std::fmt;
+
+/// Category of a cell error, mirroring the Python exception taxonomy the
+/// paper's workloads can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunErrorKind {
+    /// Malformed source.
+    SyntaxError,
+    /// Unbound name.
+    NameError,
+    /// Operation applied to the wrong type.
+    TypeError,
+    /// Missing attribute.
+    AttributeError,
+    /// Out-of-range subscript.
+    IndexError,
+    /// Missing dictionary key.
+    KeyError,
+    /// Numeric domain error (division by zero, ...).
+    ValueError,
+    /// Interpreter limit (recursion depth, iteration cap).
+    LimitError,
+    /// Error surfaced by a library class (libsim).
+    LibraryError,
+}
+
+/// An error produced while parsing or running a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunError {
+    /// Category.
+    pub kind: RunErrorKind,
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based source line, when known.
+    pub line: Option<u32>,
+}
+
+impl RunError {
+    /// New error with no line attribution.
+    pub fn new(kind: RunErrorKind, message: impl Into<String>) -> Self {
+        RunError {
+            kind,
+            message: message.into(),
+            line: None,
+        }
+    }
+
+    /// Attach a source line (keeps an existing one if already set, so the
+    /// innermost frame wins).
+    pub fn at_line(mut self, line: u32) -> Self {
+        self.line.get_or_insert(line);
+        self
+    }
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "{:?} (line {line}): {}", self.kind, self.message),
+            None => write!(f, "{:?}: {}", self.kind, self.message),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_when_known() {
+        let e = RunError::new(RunErrorKind::NameError, "name `x` is not defined").at_line(3);
+        assert!(e.to_string().contains("line 3"));
+        let e2 = RunError::new(RunErrorKind::TypeError, "boom");
+        assert!(!e2.to_string().contains("line"));
+    }
+
+    #[test]
+    fn first_line_attribution_wins() {
+        let e = RunError::new(RunErrorKind::TypeError, "x").at_line(2).at_line(9);
+        assert_eq!(e.line, Some(2));
+    }
+}

@@ -1,0 +1,460 @@
+//! Indentation-aware lexer.
+//!
+//! Python-style layout: leading whitespace at the start of a logical line
+//! produces `Indent`/`Dedent` tokens against a stack of indentation widths;
+//! newlines inside `()`/`[]`/`{}` are insignificant; `#` starts a comment.
+
+use crate::error::{RunError, RunErrorKind};
+use crate::token::{Kw, Op, TokKind, Token};
+
+/// Tokenize a full source text.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, RunError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    indents: Vec<usize>,
+    bracket_depth: usize,
+    out: Vec<Token>,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            indents: vec![0],
+            bracket_depth: 0,
+            out: Vec::new(),
+            _src: src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind) {
+        self.out.push(Token {
+            kind,
+            line: self.line,
+        });
+    }
+
+    fn err(&self, msg: impl Into<String>) -> RunError {
+        RunError::new(RunErrorKind::SyntaxError, msg).at_line(self.line)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, RunError> {
+        // Start of input counts as start of a logical line.
+        self.handle_line_start()?;
+        while let Some(c) = self.peek() {
+            match c {
+                ' ' | '\t' => {
+                    self.bump();
+                }
+                '#' => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '\n' => {
+                    self.bump();
+                    self.line += 1;
+                    if self.bracket_depth == 0 {
+                        // Collapse blank/comment-only lines: only emit a
+                        // Newline if the last emitted token wasn't already a
+                        // line boundary.
+                        if matches!(
+                            self.out.last().map(|t| &t.kind),
+                            Some(TokKind::Newline) | Some(TokKind::Indent) | None
+                        ) {
+                            // suppress empty logical line
+                        } else {
+                            self.push(TokKind::Newline);
+                        }
+                        self.handle_line_start()?;
+                    }
+                }
+                '"' | '\'' => self.lex_string(c)?,
+                c if c.is_ascii_digit() => self.lex_number()?,
+                c if c.is_alphabetic() || c == '_' => self.lex_ident(),
+                _ => self.lex_op()?,
+            }
+        }
+        // Close any open blocks.
+        if !matches!(
+            self.out.last().map(|t| &t.kind),
+            Some(TokKind::Newline) | None
+        ) {
+            self.push(TokKind::Newline);
+        }
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.push(TokKind::Dedent);
+        }
+        self.push(TokKind::Eof);
+        Ok(self.out)
+    }
+
+    /// At the start of a logical line: measure indentation, skipping blank
+    /// and comment-only lines entirely, then emit Indent/Dedent as needed.
+    fn handle_line_start(&mut self) -> Result<(), RunError> {
+        loop {
+            let mut width = 0usize;
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                match c {
+                    ' ' => {
+                        width += 1;
+                        self.bump();
+                    }
+                    '\t' => {
+                        width += 8 - (width % 8);
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                None => return Ok(()), // EOF; trailing dedents handled by run()
+                Some('\n') => {
+                    self.bump();
+                    self.line += 1;
+                    continue; // blank line: remeasure
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    continue;
+                }
+                Some(_) => {
+                    let current = *self.indents.last().expect("indent stack never empty");
+                    if width > current {
+                        self.indents.push(width);
+                        self.push(TokKind::Indent);
+                    } else if width < current {
+                        while width < *self.indents.last().expect("indent stack never empty") {
+                            self.indents.pop();
+                            self.push(TokKind::Dedent);
+                        }
+                        if width != *self.indents.last().expect("indent stack never empty") {
+                            return Err(self.err("inconsistent dedent"));
+                        }
+                    }
+                    let _ = start;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn lex_string(&mut self, quote: char) -> Result<(), RunError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(c) if c == quote => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some(c) if c == quote => s.push(c),
+                    Some(c) => {
+                        s.push('\\');
+                        s.push(c);
+                    }
+                    None => return Err(self.err("unterminated escape")),
+                },
+                Some('\n') => return Err(self.err("newline in string literal")),
+                Some(c) => s.push(c),
+            }
+        }
+        self.push(TokKind::Str(s));
+        Ok(())
+    }
+
+    fn lex_number(&mut self) -> Result<(), RunError> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    text.push(c);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let mut is_float = false;
+        if self.peek() == Some('.') && self.peek2().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            is_float = true;
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            let save = self.pos;
+            let mut exp = String::new();
+            exp.push(self.bump().expect("peeked"));
+            if matches!(self.peek(), Some('+') | Some('-')) {
+                exp.push(self.bump().expect("peeked"));
+            }
+            if self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        exp.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                text.push_str(&exp);
+                is_float = true;
+            } else {
+                self.pos = save; // `e` was the start of an identifier
+            }
+        }
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad float literal `{text}`")))?;
+            self.push(TokKind::Float(v));
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad int literal `{text}`")))?;
+            self.push(TokKind::Int(v));
+        }
+        Ok(())
+    }
+
+    fn lex_ident(&mut self) {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match Kw::from_str(&s) {
+            Some(kw) => self.push(TokKind::Keyword(kw)),
+            None => self.push(TokKind::Ident(s)),
+        }
+    }
+
+    fn lex_op(&mut self) -> Result<(), RunError> {
+        let c = self.bump().expect("caller peeked");
+        let two = |lexer: &mut Self, second: char, yes: Op, no: Op| {
+            if lexer.peek() == Some(second) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let op = match c {
+            '+' => two(self, '=', Op::PlusEq, Op::Plus),
+            '-' => two(self, '=', Op::MinusEq, Op::Minus),
+            '*' => {
+                if self.peek() == Some('*') {
+                    self.bump();
+                    Op::DoubleStar
+                } else {
+                    two(self, '=', Op::StarEq, Op::Star)
+                }
+            }
+            '/' => {
+                if self.peek() == Some('/') {
+                    self.bump();
+                    Op::DoubleSlash
+                } else {
+                    two(self, '=', Op::SlashEq, Op::Slash)
+                }
+            }
+            '%' => Op::Percent,
+            '=' => two(self, '=', Op::EqEq, Op::Eq),
+            '!' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Op::NotEq
+                } else {
+                    return Err(self.err("unexpected `!`"));
+                }
+            }
+            '<' => two(self, '=', Op::LtEq, Op::Lt),
+            '>' => two(self, '=', Op::GtEq, Op::Gt),
+            '(' => {
+                self.bracket_depth += 1;
+                Op::LParen
+            }
+            ')' => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1);
+                Op::RParen
+            }
+            '[' => {
+                self.bracket_depth += 1;
+                Op::LBracket
+            }
+            ']' => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1);
+                Op::RBracket
+            }
+            '{' => {
+                self.bracket_depth += 1;
+                Op::LBrace
+            }
+            '}' => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1);
+                Op::RBrace
+            }
+            ',' => Op::Comma,
+            ':' => Op::Colon,
+            '.' => Op::Dot,
+            other => return Err(self.err(format!("unexpected character `{other}`"))),
+        };
+        self.push(TokKind::Op(op));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        tokenize(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        let k = kinds("x = 1\n");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::Ident("x".into()),
+                TokKind::Op(Op::Eq),
+                TokKind::Int(1),
+                TokKind::Newline,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_produces_blocks() {
+        let k = kinds("if x:\n    y = 1\nz = 2\n");
+        assert!(k.contains(&TokKind::Indent));
+        assert!(k.contains(&TokKind::Dedent));
+        let i = k.iter().position(|t| *t == TokKind::Indent).expect("indent");
+        let d = k.iter().position(|t| *t == TokKind::Dedent).expect("dedent");
+        assert!(i < d);
+    }
+
+    #[test]
+    fn brackets_suppress_newlines() {
+        let k = kinds("x = [1,\n     2,\n     3]\n");
+        let newlines = k.iter().filter(|t| **t == TokKind::Newline).count();
+        assert_eq!(newlines, 1);
+        assert!(!k.contains(&TokKind::Indent));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let k = kinds("# header\n\nx = 1  # trailing\n\n# done\n");
+        assert_eq!(k.iter().filter(|t| **t == TokKind::Newline).count(), 1);
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert_eq!(kinds("3\n")[0], TokKind::Int(3));
+        assert_eq!(kinds("3.5\n")[0], TokKind::Float(3.5));
+        assert_eq!(kinds("1e3\n")[0], TokKind::Float(1000.0));
+        assert_eq!(kinds("1_000\n")[0], TokKind::Int(1000));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'a\\nb'\n")[0], TokKind::Str("a\nb".into()));
+        assert_eq!(kinds("\"q\"\n")[0], TokKind::Str("q".into()));
+    }
+
+    #[test]
+    fn keywords_recognized() {
+        let k = kinds("for x in y:\n    pass\n");
+        assert_eq!(k[0], TokKind::Keyword(Kw::For));
+        assert_eq!(k[2], TokKind::Keyword(Kw::In));
+    }
+
+    #[test]
+    fn operators_two_char() {
+        let k = kinds("a //= 1\n");
+        // `//=` is not supported; `//` then `=` is how it lexes.
+        assert_eq!(k[1], TokKind::Op(Op::DoubleSlash));
+        let k = kinds("a **  b != c <= d\n");
+        assert!(k.contains(&TokKind::Op(Op::DoubleStar)));
+        assert!(k.contains(&TokKind::Op(Op::NotEq)));
+        assert!(k.contains(&TokKind::Op(Op::LtEq)));
+    }
+
+    #[test]
+    fn nested_dedents() {
+        let k = kinds("if a:\n    if b:\n        x = 1\ny = 2\n");
+        let dedents = k.iter().filter(|t| **t == TokKind::Dedent).count();
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn inconsistent_dedent_is_error() {
+        assert!(tokenize("if a:\n    x = 1\n  y = 2\n").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("x = 'abc\n").is_err());
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = tokenize("x = 1\ny = 2\n").expect("lexes");
+        let y = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("y".into()))
+            .expect("y token");
+        assert_eq!(y.line, 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Execution observation hooks.
+//!
+//! Provenance-based lineage trackers (IPyFlow and kin, §2.4) work by
+//! instrumenting the *program*: they see every executed statement and
+//! resolve the symbols it touches at runtime. That is precisely the cost
+//! model the paper's Table 6 / Fig 17 compare Kishu against, so the
+//! interpreter exposes the same capability: any number of
+//! [`ExecutionObserver`]s can be attached, and each is invoked synchronously
+//! on every statement execution and every global name access. Kishu itself
+//! attaches **no** observer — it only looks at the patched namespace after
+//! the cell finishes — which is exactly why its overhead does not scale with
+//! loop iteration counts.
+
+use kishu_kernel::{Heap, ObjId};
+
+use crate::ast::Stmt;
+
+/// Callbacks invoked during cell execution. All methods have empty default
+/// bodies so an observer implements only what it needs.
+pub trait ExecutionObserver {
+    /// Called immediately before each statement executes (including every
+    /// loop iteration and every statement inside function bodies).
+    fn on_stmt(&mut self, _heap: &Heap, _stmt: &Stmt) {}
+
+    /// Called on every *global* name load. `obj` is the resolved binding
+    /// (`None` if the name was unbound and the load will raise).
+    fn on_name_load(&mut self, _heap: &Heap, _name: &str, _obj: Option<ObjId>) {}
+
+    /// Called on every *global* name store.
+    fn on_name_store(&mut self, _heap: &Heap, _name: &str, _obj: ObjId) {}
+
+    /// Called on every *global* name deletion.
+    fn on_name_delete(&mut self, _heap: &Heap, _name: &str) {}
+}
+
+/// A trivial observer that counts events; used by tests and as a cheap
+/// instrumentation-cost probe.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingObserver {
+    /// Statements executed.
+    pub stmts: u64,
+    /// Global name loads.
+    pub loads: u64,
+    /// Global name stores.
+    pub stores: u64,
+    /// Global name deletions.
+    pub deletes: u64,
+}
+
+impl ExecutionObserver for CountingObserver {
+    fn on_stmt(&mut self, _heap: &Heap, _stmt: &Stmt) {
+        self.stmts += 1;
+    }
+
+    fn on_name_load(&mut self, _heap: &Heap, _name: &str, _obj: Option<ObjId>) {
+        self.loads += 1;
+    }
+
+    fn on_name_store(&mut self, _heap: &Heap, _name: &str, _obj: ObjId) {
+        self.stores += 1;
+    }
+
+    fn on_name_delete(&mut self, _heap: &Heap, _name: &str) {
+        self.deletes += 1;
+    }
+}

@@ -1,0 +1,140 @@
+//! Token vocabulary of the minipy lexer.
+
+use std::fmt;
+
+/// A lexical token, tagged with the 1-based source line it started on (used
+/// for error messages and per-statement instrumentation labels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is (and its payload, for literals/names).
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Kinds of tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    /// Identifier or non-keyword name.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes removed, escapes resolved).
+    Str(String),
+    /// A keyword (`def`, `if`, `for`, ...).
+    Keyword(Kw),
+    /// An operator or delimiter.
+    Op(Op),
+    /// Logical end of line (only emitted outside brackets).
+    Newline,
+    /// Increase of indentation depth (block start).
+    Indent,
+    /// Decrease of indentation depth (block end).
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    Def,
+    Return,
+    If,
+    Elif,
+    Else,
+    For,
+    While,
+    In,
+    Not,
+    And,
+    Or,
+    Del,
+    True,
+    False,
+    None,
+    Pass,
+    Break,
+    Continue,
+    Global,
+}
+
+impl Kw {
+    /// Keyword for an identifier string, if it is one.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Kw> {
+        Some(match s {
+            "def" => Kw::Def,
+            "return" => Kw::Return,
+            "if" => Kw::If,
+            "elif" => Kw::Elif,
+            "else" => Kw::Else,
+            "for" => Kw::For,
+            "while" => Kw::While,
+            "in" => Kw::In,
+            "not" => Kw::Not,
+            "and" => Kw::And,
+            "or" => Kw::Or,
+            "del" => Kw::Del,
+            "True" => Kw::True,
+            "False" => Kw::False,
+            "None" => Kw::None,
+            "pass" => Kw::Pass,
+            "break" => Kw::Break,
+            "continue" => Kw::Continue,
+            "global" => Kw::Global,
+            _ => return None,
+        })
+    }
+}
+
+/// Operators and delimiters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    Plus,
+    Minus,
+    Star,
+    DoubleStar,
+    Slash,
+    DoubleSlash,
+    Percent,
+    Eq,       // =
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    EqEq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Dot,
+}
+
+impl fmt::Display for TokKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokKind::Int(v) => write!(f, "int `{v}`"),
+            TokKind::Float(v) => write!(f, "float `{v}`"),
+            TokKind::Str(_) => write!(f, "string literal"),
+            TokKind::Keyword(k) => write!(f, "keyword `{k:?}`"),
+            TokKind::Op(o) => write!(f, "`{o:?}`"),
+            TokKind::Newline => write!(f, "newline"),
+            TokKind::Indent => write!(f, "indent"),
+            TokKind::Dedent => write!(f, "dedent"),
+            TokKind::Eof => write!(f, "end of input"),
+        }
+    }
+}

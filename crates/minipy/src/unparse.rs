@@ -1,0 +1,482 @@
+//! AST → source text (the inverse of the parser).
+//!
+//! Produces canonical minipy: four-space indentation, fully parenthesized
+//! sub-expressions (so no precedence decisions are needed), escaped string
+//! literals. The round-trip law `parse(unparse(ast)) == ast` (modulo
+//! regenerated `def` source text) is enforced by property tests, which
+//! fuzzes the lexer and parser far beyond the hand-written cases.
+
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, BoolOpKind, CmpOp, Expr, Stmt, Target, UnaryOp};
+
+/// Render a statement sequence as source text.
+pub fn unparse(stmts: &[Stmt]) -> String {
+    let mut out = String::new();
+    for s in stmts {
+        write_stmt(&mut out, s, 0);
+    }
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn write_block(out: &mut String, body: &[Stmt], level: usize) {
+    if body.is_empty() {
+        indent(out, level);
+        out.push_str("pass\n");
+        return;
+    }
+    for s in body {
+        write_stmt(out, s, level);
+    }
+}
+
+fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    indent(out, level);
+    match stmt {
+        Stmt::Expr(e) => {
+            let _ = writeln!(out, "{}", expr(e));
+        }
+        Stmt::Assign { target, value } => {
+            let _ = writeln!(out, "{} = {}", target_str(target), expr(value));
+        }
+        Stmt::AugAssign { target, op, value } => {
+            let op = match op {
+                BinOp::Add => "+=",
+                BinOp::Sub => "-=",
+                BinOp::Mul => "*=",
+                BinOp::Div => "/=",
+                other => unreachable!("no augmented form for {other:?}"),
+            };
+            let _ = writeln!(out, "{} {op} {}", target_str(target), expr(value));
+        }
+        Stmt::Del(targets) => {
+            let parts: Vec<String> = targets.iter().map(target_str).collect();
+            let _ = writeln!(out, "del {}", parts.join(", "));
+        }
+        Stmt::If { arms, orelse } => {
+            for (i, (cond, body)) in arms.iter().enumerate() {
+                if i > 0 {
+                    indent(out, level);
+                }
+                let kw = if i == 0 { "if" } else { "elif" };
+                let _ = writeln!(out, "{kw} {}:", expr(cond));
+                write_block(out, body, level + 1);
+            }
+            if !orelse.is_empty() {
+                indent(out, level);
+                out.push_str("else:\n");
+                write_block(out, orelse, level + 1);
+            }
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "while {}:", expr(cond));
+            write_block(out, body, level + 1);
+        }
+        Stmt::For { var, iter, body } => {
+            let _ = writeln!(out, "for {var} in {}:", expr(iter));
+            write_block(out, body, level + 1);
+        }
+        Stmt::FuncDef {
+            name, params, body, ..
+        } => {
+            let _ = writeln!(out, "def {name}({}):", params.join(", "));
+            write_block(out, body, level + 1);
+        }
+        Stmt::Return(None) => out.push_str("return\n"),
+        Stmt::Return(Some(e)) => {
+            let _ = writeln!(out, "return {}", expr(e));
+        }
+        Stmt::Global(names) => {
+            let _ = writeln!(out, "global {}", names.join(", "));
+        }
+        Stmt::Pass => out.push_str("pass\n"),
+        Stmt::Break => out.push_str("break\n"),
+        Stmt::Continue => out.push_str("continue\n"),
+    }
+}
+
+fn target_str(t: &Target) -> String {
+    match t {
+        Target::Name(n) => n.clone(),
+        Target::Attr(obj, attr) => format!("{}.{attr}", expr(obj)),
+        Target::Index(obj, idx) => format!("{}[{}]", expr(obj), expr(idx)),
+    }
+}
+
+/// Render an expression. Composite operands are parenthesized, so operator
+/// precedence never matters.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::None => "None".into(),
+        Expr::Bool(true) => "True".into(),
+        Expr::Bool(false) => "False".into(),
+        Expr::Int(v) => v.to_string(),
+        Expr::Float(v) => {
+            let s = format!("{v:?}");
+            // `{:?}` may omit the decimal point for exponent forms, which
+            // still lexes as a float thanks to the exponent.
+            s
+        }
+        Expr::Str(s) => quote(s),
+        Expr::Name(n) => n.clone(),
+        Expr::List(items) => format!("[{}]", comma(items)),
+        Expr::Tuple(items) => match items.len() {
+            0 => "()".into(),
+            1 => format!("({},)", atom(&items[0])),
+            _ => format!("({})", comma(items)),
+        },
+        Expr::Set(items) => format!("{{{}}}", comma(items)),
+        Expr::Dict(pairs) => {
+            let parts: Vec<String> = pairs
+                .iter()
+                .map(|(k, v)| format!("{}: {}", atom(k), atom(v)))
+                .collect();
+            format!("{{{}}}", parts.join(", "))
+        }
+        Expr::BinOp { op, left, right } => {
+            let op = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::FloorDiv => "//",
+                BinOp::Mod => "%",
+                BinOp::Pow => "**",
+            };
+            format!("{} {op} {}", atom(left), atom(right))
+        }
+        Expr::Unary { op, operand } => match op {
+            UnaryOp::Neg => format!("-{}", atom(operand)),
+            UnaryOp::Not => format!("not {}", atom(operand)),
+        },
+        Expr::BoolOp { op, operands } => {
+            let kw = match op {
+                BoolOpKind::And => " and ",
+                BoolOpKind::Or => " or ",
+            };
+            operands.iter().map(atom).collect::<Vec<_>>().join(kw)
+        }
+        Expr::Compare { left, rest } => {
+            let mut s = atom(left);
+            for (op, e) in rest {
+                let op = match op {
+                    CmpOp::Eq => "==",
+                    CmpOp::Ne => "!=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                    CmpOp::In => "in",
+                    CmpOp::NotIn => "not in",
+                };
+                let _ = write!(s, " {op} {}", atom(e));
+            }
+            s
+        }
+        Expr::Attr(obj, attr) => format!("{}.{attr}", atom(obj)),
+        Expr::Index(obj, idx) => format!("{}[{}]", atom(obj), expr(idx)),
+        Expr::Slice(lo, hi) => format!(
+            "{}:{}",
+            lo.as_deref().map(expr).unwrap_or_default(),
+            hi.as_deref().map(expr).unwrap_or_default()
+        ),
+        Expr::Call { func, args, kwargs } => {
+            let mut parts: Vec<String> = args.iter().map(expr).collect();
+            for (k, v) in kwargs {
+                parts.push(format!("{k}={}", expr(v)));
+            }
+            format!("{}({})", atom(func), parts.join(", "))
+        }
+    }
+}
+
+/// Render as an operand: composites get parentheses.
+fn atom(e: &Expr) -> String {
+    match e {
+        Expr::None
+        | Expr::Bool(_)
+        | Expr::Int(_)
+        | Expr::Float(_)
+        | Expr::Str(_)
+        | Expr::Name(_)
+        | Expr::List(_)
+        | Expr::Tuple(_)
+        | Expr::Set(_)
+        | Expr::Dict(_)
+        | Expr::Attr(..)
+        | Expr::Index(..)
+        | Expr::Call { .. } => expr(e),
+        _ => format!("({})", expr(e)),
+    }
+}
+
+fn comma(items: &[Expr]) -> String {
+    items.iter().map(atom).collect::<Vec<_>>().join(", ")
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('\'');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\'' => out.push_str("\\'"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('\'');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn roundtrip(src: &str) {
+        let ast1 = parse_program(src).expect("original parses");
+        let printed = unparse(&ast1);
+        let ast2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("unparse output does not parse: {e}\n{printed}"));
+        assert_eq!(normalize(&ast1), normalize(&ast2), "mismatch via\n{printed}");
+    }
+
+    /// Blank `def` source fields (unparse regenerates them).
+    fn normalize(stmts: &[Stmt]) -> Vec<Stmt> {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::FuncDef {
+                    name,
+                    params,
+                    body,
+                    ..
+                } => Stmt::FuncDef {
+                    name: name.clone(),
+                    params: params.clone(),
+                    body: normalize(body),
+                    source: String::new(),
+                },
+                Stmt::If { arms, orelse } => Stmt::If {
+                    arms: arms
+                        .iter()
+                        .map(|(c, b)| (c.clone(), normalize(b)))
+                        .collect(),
+                    orelse: normalize(orelse),
+                },
+                Stmt::While { cond, body } => Stmt::While {
+                    cond: cond.clone(),
+                    body: normalize(body),
+                },
+                Stmt::For { var, iter, body } => Stmt::For {
+                    var: var.clone(),
+                    iter: iter.clone(),
+                    body: normalize(body),
+                },
+                other => other.clone(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hand_written_roundtrips() {
+        roundtrip("x = 1 + 2 * 3\n");
+        roundtrip("if a < b <= c:\n    y = [1, (2,), {'k': 3}]\nelse:\n    del y\n");
+        roundtrip("for k in range(10):\n    s += k\n    if k % 2 == 0:\n        continue\n");
+        roundtrip("def f(a, b):\n    global g\n    return a ** b\n");
+        roundtrip("r = f(1, x=2) and not (y or z)\n");
+        roundtrip("s = 'quotes \\' and\\nnewlines'\n");
+        roundtrip("a[1:3] = b[:2]\nc = d[3:]\n");
+        roundtrip("obj.attr.deep[0] += -4.5\n");
+        roundtrip("t = ()\nu = (1,)\nv = (1, 2, 3)\n");
+    }
+
+    #[test]
+    fn workload_notebooks_roundtrip() {
+        // Every cell of every synthesized notebook must survive the
+        // round trip (the unparser covers the full language the workloads
+        // use). Inline a few representative cells here; the proptest below
+        // covers the space.
+        for src in [
+            "moods = []\nfor k in range(10):\n    if k % 3 == 0:\n        moods.append('sad')\n    elif k % 3 == 1:\n        moods.append('happy')\n    else:\n        moods.append('neutral')\n",
+            "cv_acc = 0.0\nfor fold in range(4):\n    for step in range(8):\n        if (fold + step) % 3 == 0:\n            cv_acc += 0.001\n",
+        ] {
+            roundtrip(src);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ast::*;
+    use crate::parse_program;
+    use proptest::prelude::*;
+
+    fn name_strategy() -> impl Strategy<Value = String> {
+        "[a-z_][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+            crate::token::Kw::from_str(s).is_none()
+        })
+    }
+
+    fn expr_strategy() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            Just(Expr::None),
+            any::<bool>().prop_map(Expr::Bool),
+            (0i64..1_000_000).prop_map(Expr::Int),
+            (0.001f64..1e6).prop_map(Expr::Float),
+            "[ -~]{0,12}".prop_map(Expr::Str),
+            name_strategy().prop_map(Expr::Name),
+        ];
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..4).prop_map(Expr::List),
+                prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::Tuple),
+                prop::collection::vec(inner.clone(), 1..3).prop_map(Expr::Set),
+                prop::collection::vec((inner.clone(), inner.clone()), 0..3).prop_map(Expr::Dict),
+                (
+                    prop_oneof![
+                        Just(BinOp::Add),
+                        Just(BinOp::Sub),
+                        Just(BinOp::Mul),
+                        Just(BinOp::Div),
+                        Just(BinOp::FloorDiv),
+                        Just(BinOp::Mod),
+                        Just(BinOp::Pow)
+                    ],
+                    inner.clone(),
+                    inner.clone()
+                )
+                    .prop_map(|(op, l, r)| Expr::BinOp {
+                        op,
+                        left: Box::new(l),
+                        right: Box::new(r)
+                    }),
+                (prop_oneof![Just(UnaryOp::Neg), Just(UnaryOp::Not)], inner.clone()).prop_map(
+                    |(op, e)| Expr::Unary {
+                        op,
+                        operand: Box::new(e)
+                    }
+                ),
+                (
+                    prop_oneof![Just(BoolOpKind::And), Just(BoolOpKind::Or)],
+                    prop::collection::vec(inner.clone(), 2..4)
+                )
+                    .prop_map(|(op, operands)| Expr::BoolOp { op, operands }),
+                (
+                    inner.clone(),
+                    prop::collection::vec(
+                        (
+                            prop_oneof![
+                                Just(CmpOp::Eq),
+                                Just(CmpOp::Ne),
+                                Just(CmpOp::Lt),
+                                Just(CmpOp::Le),
+                                Just(CmpOp::Gt),
+                                Just(CmpOp::Ge),
+                                Just(CmpOp::In),
+                                Just(CmpOp::NotIn)
+                            ],
+                            inner.clone()
+                        ),
+                        1..3
+                    )
+                )
+                    .prop_map(|(l, rest)| Expr::Compare {
+                        left: Box::new(l),
+                        rest
+                    }),
+                (inner.clone(), name_strategy())
+                    .prop_map(|(o, a)| Expr::Attr(Box::new(o), a)),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(o, i)| Expr::Index(Box::new(o), Box::new(i))),
+                (
+                    name_strategy().prop_map(Expr::Name),
+                    prop::collection::vec(inner.clone(), 0..3),
+                    prop::collection::vec((name_strategy(), inner), 0..2)
+                )
+                    .prop_map(|(f, args, kwargs)| Expr::Call {
+                        func: Box::new(f),
+                        args,
+                        kwargs
+                    }),
+            ]
+        })
+    }
+
+    fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+        let simple = prop_oneof![
+            expr_strategy().prop_map(Stmt::Expr),
+            (name_strategy(), expr_strategy())
+                .prop_map(|(n, v)| Stmt::Assign {
+                    target: Target::Name(n),
+                    value: v
+                }),
+            (name_strategy(), expr_strategy(), expr_strategy()).prop_map(|(n, i, v)| {
+                Stmt::Assign {
+                    target: Target::Index(Box::new(Expr::Name(n)), Box::new(i)),
+                    value: v,
+                }
+            }),
+            (
+                name_strategy(),
+                prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div)],
+                expr_strategy()
+            )
+                .prop_map(|(n, op, v)| Stmt::AugAssign {
+                    target: Target::Name(n),
+                    op,
+                    value: v
+                }),
+            name_strategy().prop_map(|n| Stmt::Del(vec![Target::Name(n)])),
+            Just(Stmt::Pass),
+        ];
+        simple.prop_recursive(2, 12, 3, |inner| {
+            prop_oneof![
+                (
+                    expr_strategy(),
+                    prop::collection::vec(inner.clone(), 1..3),
+                    prop::collection::vec(inner.clone(), 0..2)
+                )
+                    .prop_map(|(c, b, orelse)| Stmt::If {
+                        arms: vec![(c, b)],
+                        orelse
+                    }),
+                (
+                    name_strategy(),
+                    expr_strategy(),
+                    prop::collection::vec(inner.clone(), 1..3)
+                )
+                    .prop_map(|(v, it, b)| Stmt::For {
+                        var: v,
+                        iter: it,
+                        body: b
+                    }),
+                (expr_strategy(), prop::collection::vec(inner, 1..3))
+                    .prop_map(|(c, b)| Stmt::While { cond: c, body: b }),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn parse_unparse_roundtrip(stmts in prop::collection::vec(stmt_strategy(), 1..6)) {
+            let printed = unparse(&stmts);
+            let reparsed = parse_program(&printed)
+                .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{printed}")))?;
+            prop_assert_eq!(&stmts, &reparsed, "via:\n{}", printed);
+            // And the round trip is a fixpoint.
+            prop_assert_eq!(unparse(&reparsed), printed);
+        }
+    }
+}

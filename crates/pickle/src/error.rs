@@ -1,0 +1,65 @@
+//! Serialization error taxonomy.
+
+use std::fmt;
+
+/// Errors raised while pickling or unpickling an object graph. The variants
+/// map one-to-one onto the failure classes the paper's evaluation
+/// distinguishes (Fig 12, Table 4, §6.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PickleError {
+    /// The closure contains an object that has no serialization
+    /// instructions (a generator, a live hash, `pl.LazyFrame`, ...). Raised
+    /// at *dump* time; Kishu responds by skipping storage and relying on
+    /// fallback recomputation (§5.1).
+    Unserializable {
+        /// Type tag or class name of the offending object.
+        type_tag: String,
+    },
+    /// The blob was written fine but the class refuses to rebuild
+    /// (`bokeh.figure`'s deserialize failure). Raised at *load* time.
+    DeserializeFailed {
+        /// Class name or reason.
+        reason: String,
+    },
+    /// The byte stream is malformed (truncation, bad magic, bad memo ref).
+    Corrupt {
+        /// Byte offset where decoding failed.
+        offset: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Structural limits exceeded (pathological nesting depth).
+    TooDeep,
+}
+
+impl fmt::Display for PickleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PickleError::Unserializable { type_tag } => {
+                write!(f, "cannot pickle object of type `{type_tag}`")
+            }
+            PickleError::DeserializeFailed { reason } => {
+                write!(f, "failed to deserialize: {reason}")
+            }
+            PickleError::Corrupt { offset, reason } => {
+                write!(f, "corrupt pickle stream at byte {offset}: {reason}")
+            }
+            PickleError::TooDeep => write!(f, "object graph exceeds nesting-depth limit"),
+        }
+    }
+}
+
+impl std::error::Error for PickleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PickleError::Unserializable { type_tag: "generator".into() };
+        assert!(e.to_string().contains("generator"));
+        let e = PickleError::Corrupt { offset: 7, reason: "bad tag".into() };
+        assert!(e.to_string().contains("byte 7"));
+    }
+}

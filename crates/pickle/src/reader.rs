@@ -1,0 +1,447 @@
+//! The pickle decoder.
+//!
+//! Mirrors the writer's pre-order memoization: when a container tag is read,
+//! an empty object is allocated and memoized *before* its children are
+//! decoded, so back-references (including cycles) resolve to the right
+//! handle; the container is then filled in place.
+
+use kishu_kernel::{ClassId, Heap, ObjId, ObjKind};
+
+use crate::error::PickleError;
+use crate::reduce::Reducer;
+use crate::varint::{read_i64, read_u64};
+use crate::writer::{Tag, MAGIC, MAX_DEPTH};
+
+/// Streaming decoder for one blob.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    reducer: &'a dyn Reducer,
+    memo: Vec<ObjId>,
+}
+
+impl<'a> Reader<'a> {
+    /// New decoder over a blob.
+    pub fn new(bytes: &'a [u8], reducer: &'a dyn Reducer) -> Self {
+        Reader {
+            bytes,
+            pos: 0,
+            reducer,
+            memo: Vec::new(),
+        }
+    }
+
+    /// Decode the blob into `heap`, returning the root handles.
+    pub fn load(mut self, heap: &mut Heap) -> Result<Vec<ObjId>, PickleError> {
+        let magic = self.take(4)?;
+        if magic != MAGIC {
+            return Err(self.corrupt("bad magic"));
+        }
+        let count = self.u64()? as usize;
+        if count > self.bytes.len() {
+            return Err(self.corrupt("implausible root count"));
+        }
+        let mut roots = Vec::with_capacity(count);
+        for _ in 0..count {
+            roots.push(self.decode(heap, 0)?);
+        }
+        Ok(roots)
+    }
+
+    fn corrupt(&self, reason: &str) -> PickleError {
+        PickleError::Corrupt {
+            offset: self.pos,
+            reason: reason.to_string(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PickleError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(PickleError::Corrupt {
+                offset: self.pos,
+                reason: "unexpected end of stream".to_string(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u64(&mut self) -> Result<u64, PickleError> {
+        read_u64(self.bytes, &mut self.pos).ok_or_else(|| PickleError::Corrupt {
+            offset: self.pos,
+            reason: "bad varint".to_string(),
+        })
+    }
+
+    fn i64(&mut self) -> Result<i64, PickleError> {
+        read_i64(self.bytes, &mut self.pos).ok_or_else(|| PickleError::Corrupt {
+            offset: self.pos,
+            reason: "bad varint".to_string(),
+        })
+    }
+
+    fn f64(&mut self) -> Result<f64, PickleError> {
+        let raw = self.take(8)?;
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(raw);
+        Ok(f64::from_le_bytes(bytes))
+    }
+
+    fn string(&mut self) -> Result<String, PickleError> {
+        let len = self.u64()? as usize;
+        if len > self.bytes.len() {
+            return Err(self.corrupt("implausible string length"));
+        }
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| PickleError::Corrupt {
+            offset: self.pos,
+            reason: "invalid utf-8".to_string(),
+        })
+    }
+
+    fn decode(&mut self, heap: &mut Heap, depth: usize) -> Result<ObjId, PickleError> {
+        if depth > MAX_DEPTH {
+            return Err(PickleError::TooDeep);
+        }
+        let tag_byte = self.take(1)?[0];
+        let tag = Tag::from_byte(tag_byte).ok_or_else(|| PickleError::Corrupt {
+            offset: self.pos,
+            reason: format!("unknown tag {tag_byte}"),
+        })?;
+        match tag {
+            Tag::Ref => {
+                let idx = self.u64()? as usize;
+                self.memo.get(idx).copied().ok_or_else(|| PickleError::Corrupt {
+                    offset: self.pos,
+                    reason: format!("dangling memo reference {idx}"),
+                })
+            }
+            Tag::None => self.leaf(heap, ObjKind::None),
+            Tag::True => self.leaf(heap, ObjKind::Bool(true)),
+            Tag::False => self.leaf(heap, ObjKind::Bool(false)),
+            Tag::Int => {
+                let v = self.i64()?;
+                self.leaf(heap, ObjKind::Int(v))
+            }
+            Tag::Float => {
+                let v = self.f64()?;
+                self.leaf(heap, ObjKind::Float(v))
+            }
+            Tag::Str => {
+                let s = self.string()?;
+                self.leaf(heap, ObjKind::Str(s))
+            }
+            Tag::List => self.container(heap, depth, ContainerKind::List),
+            Tag::Tuple => self.container(heap, depth, ContainerKind::Tuple),
+            Tag::Set => self.container(heap, depth, ContainerKind::Set),
+            Tag::Dict => {
+                let count = self.u64()? as usize;
+                if count > self.bytes.len() {
+                    return Err(self.corrupt("implausible dict size"));
+                }
+                let id = heap.alloc(ObjKind::Dict(Vec::new()));
+                self.memo.push(id);
+                let mut pairs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let k = self.decode(heap, depth + 1)?;
+                    let v = self.decode(heap, depth + 1)?;
+                    pairs.push((k, v));
+                }
+                heap.replace(id, ObjKind::Dict(pairs));
+                Ok(id)
+            }
+            Tag::NdArray => {
+                let count = self.u64()? as usize;
+                if count.saturating_mul(8) > self.bytes.len() {
+                    return Err(self.corrupt("implausible array size"));
+                }
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(self.f64()?);
+                }
+                self.leaf(heap, ObjKind::NdArray(values))
+            }
+            Tag::Series => {
+                let name = self.string()?;
+                let placeholder = heap.alloc(ObjKind::None);
+                let id = heap.alloc(ObjKind::Series {
+                    name: name.clone(),
+                    values: placeholder,
+                });
+                self.memo.push(id);
+                let values = self.decode(heap, depth + 1)?;
+                heap.replace(id, ObjKind::Series { name, values });
+                Ok(id)
+            }
+            Tag::DataFrame => {
+                let count = self.u64()? as usize;
+                if count > self.bytes.len() {
+                    return Err(self.corrupt("implausible column count"));
+                }
+                let id = heap.alloc(ObjKind::DataFrame(Vec::new()));
+                self.memo.push(id);
+                let mut cols = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = self.string()?;
+                    let col = self.decode(heap, depth + 1)?;
+                    cols.push((name, col));
+                }
+                heap.replace(id, ObjKind::DataFrame(cols));
+                Ok(id)
+            }
+            Tag::Instance => {
+                let class_name = self.string()?;
+                let count = self.u64()? as usize;
+                if count > self.bytes.len() {
+                    return Err(self.corrupt("implausible attr count"));
+                }
+                let id = heap.alloc(ObjKind::Instance {
+                    class_name: class_name.clone(),
+                    attrs: Vec::new(),
+                });
+                self.memo.push(id);
+                let mut attrs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = self.string()?;
+                    let v = self.decode(heap, depth + 1)?;
+                    attrs.push((name, v));
+                }
+                heap.replace(id, ObjKind::Instance { class_name, attrs });
+                Ok(id)
+            }
+            Tag::Function => {
+                let name = self.string()?;
+                let count = self.u64()? as usize;
+                if count > self.bytes.len() {
+                    return Err(self.corrupt("implausible param count"));
+                }
+                let mut params = Vec::with_capacity(count);
+                for _ in 0..count {
+                    params.push(self.string()?);
+                }
+                let source = self.string()?;
+                self.leaf(
+                    heap,
+                    ObjKind::Function {
+                        name,
+                        params,
+                        source,
+                    },
+                )
+            }
+            Tag::External => {
+                let class = ClassId(self.u64()? as u16);
+                let epoch = self.u64()?;
+                let len = self.u64()? as usize;
+                if len > self.bytes.len() {
+                    return Err(self.corrupt("implausible payload length"));
+                }
+                let stored = self.take(len)?.to_vec();
+                let payload = self.reducer.rebuild(class, &stored)?;
+                let id = heap.alloc(ObjKind::External {
+                    class,
+                    attrs: Vec::new(),
+                    payload,
+                    epoch,
+                });
+                self.memo.push(id);
+                let count = self.u64()? as usize;
+                if count > self.bytes.len() {
+                    return Err(self.corrupt("implausible attr count"));
+                }
+                let mut attrs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let name = self.string()?;
+                    let v = self.decode(heap, depth + 1)?;
+                    attrs.push((name, v));
+                }
+                heap.modify(id, |k| {
+                    if let ObjKind::External { attrs: a, .. } = k {
+                        *a = attrs;
+                    }
+                });
+                Ok(id)
+            }
+        }
+    }
+
+    fn leaf(&mut self, heap: &mut Heap, kind: ObjKind) -> Result<ObjId, PickleError> {
+        let id = heap.alloc(kind);
+        self.memo.push(id);
+        Ok(id)
+    }
+
+    fn container(
+        &mut self,
+        heap: &mut Heap,
+        depth: usize,
+        which: ContainerKind,
+    ) -> Result<ObjId, PickleError> {
+        let count = self.u64()? as usize;
+        if count > self.bytes.len() {
+            return Err(self.corrupt("implausible container size"));
+        }
+        let id = heap.alloc(which.empty());
+        self.memo.push(id);
+        let mut items = Vec::with_capacity(count);
+        for _ in 0..count {
+            items.push(self.decode(heap, depth + 1)?);
+        }
+        heap.replace(id, which.filled(items));
+        Ok(id)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum ContainerKind {
+    List,
+    Tuple,
+    Set,
+}
+
+impl ContainerKind {
+    fn empty(self) -> ObjKind {
+        self.filled(Vec::new())
+    }
+
+    fn filled(self, items: Vec<ObjId>) -> ObjKind {
+        match self {
+            ContainerKind::List => ObjKind::List(items),
+            ContainerKind::Tuple => ObjKind::Tuple(items),
+            ContainerKind::Set => ObjKind::Set(items),
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::reduce::NoopReducer;
+    use crate::{dumps, loads};
+    use proptest::prelude::*;
+
+    /// A recipe for building a random object graph deterministically.
+    #[derive(Debug, Clone)]
+    enum Recipe {
+        Int(i64),
+        Float(f64),
+        Str(String),
+        Bool(bool),
+        None,
+        List(Vec<Recipe>),
+        Dict(Vec<(String, Recipe)>),
+        Array(Vec<f64>),
+    }
+
+    fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+        let leaf = prop_oneof![
+            any::<i64>().prop_map(Recipe::Int),
+            any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Recipe::Float),
+            "[a-z]{0,12}".prop_map(Recipe::Str),
+            any::<bool>().prop_map(Recipe::Bool),
+            Just(Recipe::None),
+            prop::collection::vec(any::<f64>().prop_filter("finite", |f| f.is_finite()), 0..20)
+                .prop_map(Recipe::Array),
+        ];
+        leaf.prop_recursive(4, 64, 8, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..8).prop_map(Recipe::List),
+                prop::collection::vec(("[a-z]{1,6}", inner), 0..6).prop_map(Recipe::Dict),
+            ]
+        })
+    }
+
+    fn build(heap: &mut Heap, r: &Recipe) -> ObjId {
+        match r {
+            Recipe::Int(v) => heap.alloc(ObjKind::Int(*v)),
+            Recipe::Float(v) => heap.alloc(ObjKind::Float(*v)),
+            Recipe::Str(s) => heap.alloc(ObjKind::Str(s.clone())),
+            Recipe::Bool(b) => heap.alloc(ObjKind::Bool(*b)),
+            Recipe::None => heap.alloc(ObjKind::None),
+            Recipe::Array(vs) => heap.alloc(ObjKind::NdArray(vs.clone())),
+            Recipe::List(items) => {
+                let ids: Vec<ObjId> = items.iter().map(|i| build(heap, i)).collect();
+                heap.alloc(ObjKind::List(ids))
+            }
+            Recipe::Dict(pairs) => {
+                let ps: Vec<(ObjId, ObjId)> = pairs
+                    .iter()
+                    .map(|(k, v)| {
+                        let kid = heap.alloc(ObjKind::Str(k.clone()));
+                        let vid = build(heap, v);
+                        (kid, vid)
+                    })
+                    .collect();
+                heap.alloc(ObjKind::Dict(ps))
+            }
+        }
+    }
+
+    /// Structural equality of two decoded graphs (ignoring ObjIds).
+    fn structurally_equal(heap: &Heap, a: ObjId, b: ObjId) -> bool {
+        match (heap.kind(a), heap.kind(b)) {
+            (ka, kb) if ka.is_primitive() && kb.is_primitive() => ka == kb,
+            (ObjKind::NdArray(x), ObjKind::NdArray(y)) => x == y,
+            (ObjKind::List(x), ObjKind::List(y)) => {
+                x.len() == y.len()
+                    && x.iter().zip(y).all(|(i, j)| structurally_equal(heap, *i, *j))
+            }
+            (ObjKind::Dict(x), ObjKind::Dict(y)) => {
+                x.len() == y.len()
+                    && x.iter().zip(y).all(|((kx, vx), (ky, vy))| {
+                        structurally_equal(heap, *kx, *ky) && structurally_equal(heap, *vx, *vy)
+                    })
+            }
+            _ => false,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn arbitrary_graphs_roundtrip(recipe in recipe_strategy()) {
+            let mut heap = Heap::new();
+            let root = build(&mut heap, &recipe);
+            let blob = dumps(&heap, &[root], &NoopReducer).expect("dumps");
+            let back = loads(&mut heap, &blob, &NoopReducer).expect("loads");
+            prop_assert!(structurally_equal(&heap, root, back[0]));
+        }
+
+        #[test]
+        fn redump_is_byte_identical(recipe in recipe_strategy()) {
+            let mut heap = Heap::new();
+            let root = build(&mut heap, &recipe);
+            let blob1 = dumps(&heap, &[root], &NoopReducer).expect("dumps");
+            let back = loads(&mut heap, &blob1, &NoopReducer).expect("loads");
+            let blob2 = dumps(&heap, &back, &NoopReducer).expect("redump");
+            prop_assert_eq!(blob1, blob2);
+        }
+
+        #[test]
+        fn decoder_never_panics_on_corruption(
+            recipe in recipe_strategy(),
+            flip in any::<(usize, u8)>(),
+        ) {
+            let mut heap = Heap::new();
+            let root = build(&mut heap, &recipe);
+            let mut blob = dumps(&heap, &[root], &NoopReducer).expect("dumps");
+            if !blob.is_empty() {
+                let idx = flip.0 % blob.len();
+                blob[idx] ^= flip.1 | 1;
+            }
+            // Must either decode to something or return an error — no panic.
+            let _ = loads(&mut heap, &blob, &NoopReducer);
+        }
+
+        #[test]
+        fn decoder_never_panics_on_truncation(recipe in recipe_strategy(), cut in any::<usize>()) {
+            let mut heap = Heap::new();
+            let root = build(&mut heap, &recipe);
+            let blob = dumps(&heap, &[root], &NoopReducer).expect("dumps");
+            let cut = cut % (blob.len() + 1);
+            let _ = loads(&mut heap, &blob[..cut], &NoopReducer);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! LEB128 variable-length integers and zigzag encoding, used throughout the
+//! pickle format for lengths and integer payloads.
+
+/// Append an unsigned LEB128 varint.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a zigzag-encoded signed varint.
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag(v));
+}
+
+/// Zigzag-map a signed integer to unsigned.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Read an unsigned LEB128 varint from `bytes` starting at `*pos`,
+/// advancing `*pos`. Returns `None` on truncation or overlong encoding.
+pub fn read_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut result = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        result |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(result);
+        }
+        shift += 7;
+    }
+}
+
+/// Read a zigzag-encoded signed varint.
+pub fn read_i64(bytes: &[u8], pos: &mut usize) -> Option<i64> {
+    read_u64(bytes, pos).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn i64_roundtrip_edges() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos), Some(v));
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf[..buf.len() - 1], &mut pos), None);
+    }
+
+    #[test]
+    fn small_values_are_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 100);
+        assert_eq!(buf.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn u64_roundtrips(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_u64(&buf, &mut pos), Some(v));
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn i64_roundtrips(v in any::<i64>()) {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_i64(&buf, &mut pos), Some(v));
+        }
+
+        #[test]
+        fn zigzag_bijection(v in any::<i64>()) {
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! CRC-32 (IEEE 802.3 polynomial), implemented in-repo to keep the
+//! dependency surface at the workspace's allowed set. Used to detect torn
+//! and corrupted records in the [`crate::FileStore`] log.
+
+/// Reflected polynomial of CRC-32/ISO-HDLC.
+const POLY: u32 = 0xEDB88320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of a byte slice (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF` —
+/// the standard zlib/`cksum -o 3` variant).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for b in bytes {
+        let idx = ((crc ^ *b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the quick brown fox".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn equal_inputs_equal_crcs(data in prop::collection::vec(any::<u8>(), 0..512)) {
+            prop_assert_eq!(crc32(&data), crc32(&data.clone()));
+        }
+
+        #[test]
+        fn appending_changes_crc(data in prop::collection::vec(any::<u8>(), 0..256)) {
+            let mut longer = data.clone();
+            longer.push(0xAB);
+            // Not cryptographically guaranteed, but holds for CRC-32 with a
+            // single appended byte.
+            prop_assert_ne!(crc32(&data), crc32(&longer));
+        }
+    }
+}

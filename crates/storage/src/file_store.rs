@@ -1,0 +1,331 @@
+//! Durable append-only log store.
+//!
+//! Record layout (little-endian):
+//!
+//! ```text
+//! +--------+----------+-----------+-------------+
+//! | 0x4B   | len: u32 | crc32: u32| payload     |
+//! +--------+----------+-----------+-------------+
+//! ```
+//!
+//! The single-byte record marker plus the CRC over the payload makes torn
+//! tail writes detectable: on open, the log is scanned, every intact record
+//! is indexed, and the first damaged/truncated record ends recovery — the
+//! file is truncated back to the last intact boundary, exactly the recovery
+//! contract of a write-ahead log.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use crate::crc32::crc32;
+use crate::{BlobId, CheckpointStore, StoreStats};
+
+const RECORD_MARKER: u8 = 0x4B; // 'K'
+const HEADER_LEN: u64 = 1 + 4 + 4;
+
+/// Append-only log-file blob store with CRC-checked records and recovery.
+pub struct FileStore {
+    file: Mutex<File>,
+    path: PathBuf,
+    index: Vec<(u64, u32)>, // (payload offset, payload len)
+    end_offset: u64,
+    payload_bytes: u64,
+    sync_on_put: bool,
+}
+
+impl std::fmt::Debug for FileStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileStore")
+            .field("path", &self.path)
+            .field("blobs", &self.index.len())
+            .finish()
+    }
+}
+
+impl FileStore {
+    /// Create a new, empty log at `path` (truncating any existing file).
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path.as_ref())?;
+        Ok(FileStore {
+            file: Mutex::new(file),
+            path: path.as_ref().to_path_buf(),
+            index: Vec::new(),
+            end_offset: 0,
+            payload_bytes: 0,
+            sync_on_put: false,
+        })
+    }
+
+    /// Open an existing log, recovering its index by scanning. A torn or
+    /// corrupt tail is truncated away; everything before it stays readable.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path.as_ref())?;
+        let file_len = file.metadata()?.len();
+        let mut index = Vec::new();
+        let mut payload_bytes = 0u64;
+        let mut offset = 0u64;
+        let mut buf = Vec::new();
+        while offset + HEADER_LEN <= file_len {
+            file.seek(SeekFrom::Start(offset))?;
+            let mut header = [0u8; HEADER_LEN as usize];
+            file.read_exact(&mut header)?;
+            if header[0] != RECORD_MARKER {
+                break; // garbage: end recovery here
+            }
+            let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]);
+            let crc = u32::from_le_bytes([header[5], header[6], header[7], header[8]]);
+            let payload_off = offset + HEADER_LEN;
+            if payload_off + len as u64 > file_len {
+                break; // torn write
+            }
+            buf.resize(len as usize, 0);
+            file.read_exact(&mut buf)?;
+            if crc32(&buf) != crc {
+                break; // corrupted record
+            }
+            index.push((payload_off, len));
+            payload_bytes += len as u64;
+            offset = payload_off + len as u64;
+        }
+        // Truncate away anything after the last intact record so appends
+        // never interleave with garbage.
+        file.set_len(offset)?;
+        Ok(FileStore {
+            file: Mutex::new(file),
+            path: path.as_ref().to_path_buf(),
+            index,
+            end_offset: offset,
+            payload_bytes,
+            sync_on_put: false,
+        })
+    }
+
+    /// Enable fsync after every [`CheckpointStore::put`] (durability over
+    /// throughput).
+    pub fn set_sync_on_put(&mut self, on: bool) {
+        self.sync_on_put = on;
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl CheckpointStore for FileStore {
+    fn put(&mut self, bytes: &[u8]) -> io::Result<BlobId> {
+        if bytes.len() > u32::MAX as usize {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "blob too large"));
+        }
+        let crc = crc32(bytes);
+        let mut record = Vec::with_capacity(HEADER_LEN as usize + bytes.len());
+        record.push(RECORD_MARKER);
+        record.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc.to_le_bytes());
+        record.extend_from_slice(bytes);
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(self.end_offset))?;
+            file.write_all(&record)?;
+            if self.sync_on_put {
+                file.sync_data()?;
+            }
+        }
+        let payload_off = self.end_offset + HEADER_LEN;
+        self.index.push((payload_off, bytes.len() as u32));
+        self.end_offset += record.len() as u64;
+        self.payload_bytes += bytes.len() as u64;
+        Ok((self.index.len() - 1) as BlobId)
+    }
+
+    fn get(&self, id: BlobId) -> io::Result<Vec<u8>> {
+        let (off, len) = *self
+            .index
+            .get(id as usize)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no blob {id}")))?;
+        let mut buf = vec![0u8; len as usize];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(off))?;
+            file.read_exact(&mut buf)?;
+        }
+        // Integrity: re-read the stored CRC and verify.
+        let mut crc_bytes = [0u8; 4];
+        {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(off - 4))?;
+            file.read_exact(&mut crc_bytes)?;
+        }
+        if crc32(&buf) != u32::from_le_bytes(crc_bytes) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("blob {id} failed its integrity check"),
+            ));
+        }
+        Ok(buf)
+    }
+
+    fn blob_count(&self) -> u64 {
+        self.index.len() as u64
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            blobs: self.index.len() as u64,
+            payload_bytes: self.payload_bytes,
+            physical_bytes: self.end_offset,
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.lock().sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kishu-fs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let path = temp_path("reopen.log");
+        {
+            let mut s = FileStore::create(&path).expect("create");
+            s.put(b"one").expect("put");
+            s.put(b"two").expect("put");
+            s.sync().expect("sync");
+        }
+        let s = FileStore::open(&path).expect("open");
+        assert_eq!(s.blob_count(), 2);
+        assert_eq!(s.get(0).expect("get"), b"one");
+        assert_eq!(s.get(1).expect("get"), b"two");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_recovered() {
+        let path = temp_path("torn.log");
+        {
+            let mut s = FileStore::create(&path).expect("create");
+            s.put(b"intact-record").expect("put");
+            s.put(&vec![9u8; 5000]).expect("put");
+            s.sync().expect("sync");
+        }
+        // Tear the tail: chop 100 bytes off the last record.
+        let len = std::fs::metadata(&path).expect("meta").len();
+        let f = OpenOptions::new().write(true).open(&path).expect("open raw");
+        f.set_len(len - 100).expect("truncate");
+        drop(f);
+
+        let mut s = FileStore::open(&path).expect("recover");
+        assert_eq!(s.blob_count(), 1, "only the intact record survives");
+        assert_eq!(s.get(0).expect("get"), b"intact-record");
+        // Appends after recovery work.
+        let id = s.put(b"after-recovery").expect("put");
+        assert_eq!(s.get(id).expect("get"), b"after-recovery");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_payload_is_detected() {
+        let path = temp_path("corrupt.log");
+        let (off, _len) = {
+            let mut s = FileStore::create(&path).expect("create");
+            s.put(b"precious-data").expect("put");
+            s.sync().expect("sync");
+            s.index[0]
+        };
+        // Flip a payload byte on disk.
+        let mut f = OpenOptions::new().read(true).write(true).open(&path).expect("raw");
+        f.seek(SeekFrom::Start(off + 2)).expect("seek");
+        f.write_all(&[0xFF]).expect("write");
+        drop(f);
+
+        // A live handle (index built before corruption) must detect it.
+        let s = FileStore::open(&path);
+        if let Ok(s) = s {
+            // If recovery kept it (it shouldn't), reading must fail.
+            assert!(s.blob_count() == 0 || s.get(0).is_err());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_marker_stops_recovery() {
+        let path = temp_path("garbage.log");
+        {
+            let mut s = FileStore::create(&path).expect("create");
+            s.put(b"good").expect("put");
+            s.sync().expect("sync");
+        }
+        // Append garbage that does not start with the record marker.
+        let mut f = OpenOptions::new().append(true).open(&path).expect("raw");
+        f.write_all(&[0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09])
+            .expect("write");
+        drop(f);
+        let s = FileStore::open(&path).expect("recover");
+        assert_eq!(s.blob_count(), 1);
+        assert_eq!(s.get(0).expect("get"), b"good");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn physical_bytes_include_framing() {
+        let path = temp_path("framing.log");
+        let mut s = FileStore::create(&path).expect("create");
+        s.put(&[0u8; 100]).expect("put");
+        let st = s.stats();
+        assert_eq!(st.payload_bytes, 100);
+        assert_eq!(st.physical_bytes, 100 + HEADER_LEN);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn random_blob_sequences_roundtrip(
+            blobs in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..2000), 1..20)
+        ) {
+            let dir = std::env::temp_dir().join(format!("kishu-fsprop-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("mkdir");
+            let path = dir.join(format!("p{}.log", crc32(&blobs.concat())));
+            let _ = std::fs::remove_file(&path);
+            {
+                let mut s = FileStore::create(&path).expect("create");
+                for b in &blobs {
+                    s.put(b).expect("put");
+                }
+                s.sync().expect("sync");
+            }
+            let s = FileStore::open(&path).expect("open");
+            prop_assert_eq!(s.blob_count(), blobs.len() as u64);
+            for (i, b) in blobs.iter().enumerate() {
+                prop_assert_eq!(&s.get(i as u64).expect("get"), b);
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! # kishu-storage — checkpoint blob stores
+//!
+//! Kishu writes versioned co-variables into storage and reads them back on
+//! checkout; the paper uses SQLite but notes "any storage mechanism can be
+//! used in its place — even in-memory ones" (§6.1). This crate provides the
+//! storage layer behind the Checkpoint Graph:
+//!
+//! * [`CheckpointStore`] — the blob-store interface every checkpointing
+//!   mechanism (Kishu and all baselines) writes through, so size and time
+//!   accounting are uniform across methods;
+//! * [`MemoryStore`] — zero-I/O backend for unit tests and for isolating
+//!   algorithmic costs in benchmarks;
+//! * [`FileStore`] — a durable append-only log with length-prefixed,
+//!   CRC-checked records and crash recovery on open (a torn tail write is
+//!   detected and truncated away, records before it stay readable).
+
+pub mod crc32;
+pub mod file_store;
+pub mod memory_store;
+
+pub use file_store::FileStore;
+pub use memory_store::MemoryStore;
+
+use std::io;
+
+/// Handle to a stored blob. Dense, assigned in insertion order.
+pub type BlobId = u64;
+
+/// Aggregate storage accounting, used by the checkpoint-size experiments
+/// (Fig 13, Fig 18, Fig 19).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of blobs stored.
+    pub blobs: u64,
+    /// Sum of payload bytes.
+    pub payload_bytes: u64,
+    /// Physical bytes including per-record framing (what disk usage is).
+    pub physical_bytes: u64,
+}
+
+/// A blob store for checkpoint data.
+///
+/// All methods in the evaluation (Kishu, CRIU, DumpSession, ...) write
+/// through this interface so their checkpoint sizes and write times are
+/// measured identically.
+pub trait CheckpointStore {
+    /// Append a blob, returning its id.
+    fn put(&mut self, bytes: &[u8]) -> io::Result<BlobId>;
+
+    /// Read a blob back. Fails if the id is unknown or the record fails its
+    /// integrity check.
+    fn get(&self, id: BlobId) -> io::Result<Vec<u8>>;
+
+    /// Number of blobs stored.
+    fn blob_count(&self) -> u64;
+
+    /// Accounting snapshot.
+    fn stats(&self) -> StoreStats;
+
+    /// Flush buffered writes to the durable medium (no-op for memory).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn CheckpointStore) {
+        let a = store.put(b"alpha").expect("put");
+        let b = store.put(b"").expect("put empty");
+        let c = store.put(&vec![7u8; 100_000]).expect("put large");
+        assert_eq!(store.get(a).expect("get"), b"alpha");
+        assert_eq!(store.get(b).expect("get"), b"");
+        assert_eq!(store.get(c).expect("get").len(), 100_000);
+        assert_eq!(store.blob_count(), 3);
+        let stats = store.stats();
+        assert_eq!(stats.blobs, 3);
+        assert_eq!(stats.payload_bytes, 5 + 100_000);
+        assert!(stats.physical_bytes >= stats.payload_bytes);
+        assert!(store.get(999).is_err());
+    }
+
+    #[test]
+    fn memory_store_contract() {
+        let mut s = MemoryStore::new();
+        exercise(&mut s);
+    }
+
+    #[test]
+    fn file_store_contract() {
+        let dir = std::env::temp_dir().join(format!("kishu-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("contract.log");
+        let _ = std::fs::remove_file(&path);
+        let mut s = FileStore::create(&path).expect("create");
+        exercise(&mut s);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,74 @@
+//! In-memory blob store.
+
+use std::io;
+
+use crate::{BlobId, CheckpointStore, StoreStats};
+
+/// Blob store backed by process memory. The fastest possible backend — the
+/// paper's §6.1 notes users can pick one "to maximize checkpointing/checkout
+/// efficiency" — and the default for unit tests and algorithm-isolating
+/// benchmarks.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    blobs: Vec<Vec<u8>>,
+    payload_bytes: u64,
+}
+
+impl MemoryStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CheckpointStore for MemoryStore {
+    fn put(&mut self, bytes: &[u8]) -> io::Result<BlobId> {
+        let id = self.blobs.len() as BlobId;
+        self.payload_bytes += bytes.len() as u64;
+        self.blobs.push(bytes.to_vec());
+        Ok(id)
+    }
+
+    fn get(&self, id: BlobId) -> io::Result<Vec<u8>> {
+        self.blobs
+            .get(id as usize)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no blob {id}")))
+    }
+
+    fn blob_count(&self) -> u64 {
+        self.blobs.len() as u64
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            blobs: self.blobs.len() as u64,
+            payload_bytes: self.payload_bytes,
+            physical_bytes: self.payload_bytes,
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut s = MemoryStore::new();
+        assert_eq!(s.put(b"a").expect("put"), 0);
+        assert_eq!(s.put(b"b").expect("put"), 1);
+        assert_eq!(s.get(1).expect("get"), b"b");
+    }
+
+    #[test]
+    fn missing_blob_is_not_found() {
+        let s = MemoryStore::new();
+        let err = s.get(3).expect_err("missing");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

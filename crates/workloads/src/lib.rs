@@ -1,0 +1,89 @@
+//! # kishu-workloads — the evaluation notebooks, synthesized
+//!
+//! The paper evaluates on 8 data-science notebooks from Kaggle and GitHub
+//! (Table 2). Those exact notebooks (and their datasets) are not
+//! reproducible here, so this crate generates minipy notebooks with the
+//! published *characteristics*, which are what every experiment's shape
+//! depends on (§2.2, §10):
+//!
+//! * matching cell counts and library flavour per notebook;
+//! * state sizes scaled down ~10–50× to laptop scale, with the paper's
+//!   relative ordering preserved (TorchGPU ≫ Sklearn > StoreSales > Cluster
+//!   > TPS ≫ HW-LM ≈ Qiskit);
+//! * incremental cells — most cells access a small fraction of the state
+//!   (Fig 2 top);
+//! * a balance of data creation and in-place modification (Fig 2 bottom);
+//! * the failure-matrix content: TorchGPU and Ray hold off-process objects
+//!   (CRIU fails), Qiskit holds an unserializable object (DumpSession
+//!   fails);
+//! * in-progress notebooks (Sklearn, Qiskit, Ray) contain re-executed and
+//!   out-of-order cells (Table 8's hidden states);
+//! * per-cell determinism annotations for the Kishu+Det-replay baseline.
+//!
+//! [`sweeps`] adds the §7.7 parameter sweeps (shared-referencing, 1000-cell
+//! sessions) and the Fig 4 motivating example; [`stats`] computes the
+//! workload-characterization measurements (Fig 2/25, Tables 2/7/8).
+
+pub mod notebooks;
+pub mod stats;
+pub mod sweeps;
+
+/// One notebook cell: source plus its (manual) determinism annotation.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// minipy source.
+    pub src: String,
+    /// Whether re-running the cell reproduces its effects exactly (no
+    /// session entropy). Consumed by the Kishu+Det-replay baseline.
+    pub deterministic: bool,
+}
+
+/// A generated evaluation notebook.
+#[derive(Debug, Clone)]
+pub struct NotebookSpec {
+    /// Short name as in Table 2 (`Cluster`, `TPS`, ...).
+    pub name: &'static str,
+    /// Topic as in Table 2.
+    pub topic: &'static str,
+    /// Featured library as in Table 2.
+    pub library: &'static str,
+    /// Whether the notebook is *final* (cleaned, linear) or *in-progress*
+    /// (hidden states, out-of-order cells) — Table 8.
+    pub is_final: bool,
+    /// Count of hidden states (re-executions), Table 8.
+    pub hidden_states: u32,
+    /// Count of out-of-order cell executions, Table 8.
+    pub out_of_order: u32,
+    /// The cells, in execution order.
+    pub cells: Vec<Cell>,
+}
+
+impl NotebookSpec {
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// Build a cell from source, deriving the determinism annotation from its
+/// use of session entropy.
+pub fn cell(src: impl Into<String>) -> Cell {
+    let src = src.into();
+    let deterministic = !src.contains("randn(") && !src.contains("fit_random");
+    Cell { src, deterministic }
+}
+
+/// All 8 evaluation notebooks at the given scale (1.0 = default laptop
+/// scale; the paper's sizes are roughly scale 20–50).
+pub fn all_notebooks(scale: f64) -> Vec<NotebookSpec> {
+    vec![
+        notebooks::cluster(scale),
+        notebooks::tps(scale),
+        notebooks::sklearn(scale),
+        notebooks::hw_lm(scale),
+        notebooks::store_sales(scale),
+        notebooks::qiskit(scale),
+        notebooks::torch_gpu(scale),
+        notebooks::ray(scale),
+    ]
+}

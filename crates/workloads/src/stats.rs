@@ -1,0 +1,204 @@
+//! Workload characterization (Fig 2 / Fig 25, Tables 2, 7, 8).
+//!
+//! Runs a notebook under a plain kernel plus Kishu's delta detector and
+//! records, per cell, the fraction of state accessed and the split between
+//! data creation and in-place modification — the two traits §2.2 claims
+//! for data-science notebooks and Figs 2/25 plot.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+use std::time::Duration;
+
+use kishu::delta::DeltaDetector;
+use kishu_kernel::ObjId;
+use kishu_libsim::Registry;
+use kishu_minipy::Interp;
+
+use crate::NotebookSpec;
+
+/// Per-cell characterization record.
+#[derive(Debug, Clone)]
+pub struct CellTrace {
+    /// Bytes reachable from the variables the cell accessed, divided by
+    /// total state bytes (Fig 2 top / Fig 25 top).
+    pub accessed_fraction: f64,
+    /// Bytes in co-variables newly created by the cell.
+    pub created_bytes: u64,
+    /// Bytes in pre-existing co-variables the cell modified.
+    pub modified_bytes: u64,
+    /// Total state bytes after the cell.
+    pub state_bytes: u64,
+    /// Cell wall time.
+    pub wall: Duration,
+}
+
+/// Whole-notebook characterization.
+#[derive(Debug, Clone)]
+pub struct NotebookTrace {
+    /// Notebook name.
+    pub name: &'static str,
+    /// Per-cell records, in execution order.
+    pub cells: Vec<CellTrace>,
+    /// Final state size in bytes (Table 2's "Data" column).
+    pub final_state_bytes: u64,
+    /// Final variable count (Table 7).
+    pub var_count: usize,
+    /// Final co-variable count (Table 7).
+    pub covar_count: usize,
+    /// Total notebook runtime (Table 2's "Time").
+    pub total_wall: Duration,
+}
+
+impl NotebookTrace {
+    /// Fraction of cells accessing at most `threshold` of the state
+    /// (Fig 2's "40/44 cells access <10%").
+    pub fn incremental_cell_fraction(&self, threshold: f64) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .cells
+            .iter()
+            .filter(|c| c.accessed_fraction < threshold)
+            .count();
+        n as f64 / self.cells.len() as f64
+    }
+
+    /// Creation share of all updated bytes (Fig 2 bottom's ~45%:55%).
+    pub fn creation_share(&self) -> f64 {
+        let created: u64 = self.cells.iter().map(|c| c.created_bytes).sum();
+        let modified: u64 = self.cells.iter().map(|c| c.modified_bytes).sum();
+        if created + modified == 0 {
+            return 0.0;
+        }
+        created as f64 / (created + modified) as f64
+    }
+}
+
+/// Run `nb` and characterize it.
+pub fn characterize(nb: &NotebookSpec) -> NotebookTrace {
+    let registry = Rc::new(Registry::standard());
+    let mut interp = Interp::new();
+    kishu_libsim::install(&mut interp, registry.clone());
+    let mut detector = DeltaDetector::new(registry, true, false);
+    let mut cells = Vec::with_capacity(nb.cells.len());
+    let mut total_wall = Duration::ZERO;
+
+    for c in &nb.cells {
+        // Names bound before the cell (to classify created vs modified).
+        let pre_names: BTreeSet<String> = interp.globals.names().into_iter().collect();
+        let outcome = interp
+            .run_cell(&c.src)
+            .unwrap_or_else(|e| panic!("{}: {e}", nb.name));
+        assert!(
+            outcome.error.is_none(),
+            "{} raised: {:?}",
+            nb.name,
+            outcome.error
+        );
+        total_wall += outcome.wall_time;
+        let delta = detector.on_cell(&interp.heap, &interp.globals, &outcome.access);
+
+        let deep = |interp: &Interp, names: &BTreeSet<String>| -> u64 {
+            let roots: Vec<ObjId> = names
+                .iter()
+                .filter_map(|n| interp.globals.peek(n))
+                .collect();
+            interp.heap.deep_size(roots)
+        };
+        let state_bytes = deep(
+            &interp,
+            &interp.globals.names().into_iter().collect::<BTreeSet<_>>(),
+        );
+        let accessed_bytes = deep(&interp, &outcome.access.accessed());
+        let mut created_bytes = 0u64;
+        let mut modified_bytes = 0u64;
+        for key in &delta.updated {
+            let bytes = deep(&interp, key);
+            // A co-variable is "created" if all its members are new names.
+            if key.iter().all(|n| !pre_names.contains(n)) {
+                created_bytes += bytes;
+            } else {
+                modified_bytes += bytes;
+            }
+        }
+        cells.push(CellTrace {
+            accessed_fraction: if state_bytes == 0 {
+                0.0
+            } else {
+                accessed_bytes as f64 / state_bytes as f64
+            },
+            created_bytes,
+            modified_bytes,
+            state_bytes,
+            wall: outcome.wall_time,
+        });
+        interp.gc();
+    }
+
+    NotebookTrace {
+        name: nb.name,
+        final_state_bytes: cells.last().map(|c| c.state_bytes).unwrap_or(0),
+        var_count: interp.globals.len(),
+        covar_count: detector.partition().len(),
+        cells,
+        total_wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::notebooks;
+
+    #[test]
+    fn sklearn_matches_fig2_shape() {
+        let trace = characterize(&notebooks::sklearn(0.1));
+        // Fig 2 top: the large majority of cells access <10% of the state.
+        assert!(
+            trace.incremental_cell_fraction(0.10) > 0.6,
+            "incremental fraction = {}",
+            trace.incremental_cell_fraction(0.10)
+        );
+        // Fig 2 bottom: creations and modifications are both substantial.
+        let share = trace.creation_share();
+        assert!(
+            (0.15..=0.85).contains(&share),
+            "creation share = {share}"
+        );
+    }
+
+    #[test]
+    fn qiskit_merges_covariables() {
+        // Table 7: Qiskit has notably fewer co-variables than variables
+        // (circuits share gate lists).
+        let trace = characterize(&notebooks::qiskit(0.1));
+        assert!(
+            trace.var_count >= trace.covar_count + 8,
+            "{} vars vs {} co-vars",
+            trace.var_count,
+            trace.covar_count
+        );
+    }
+
+    #[test]
+    fn hw_lm_has_many_small_variables() {
+        let trace = characterize(&notebooks::hw_lm(0.1));
+        assert!(trace.var_count > 100, "HW-LM has {} vars", trace.var_count);
+        assert!(trace.final_state_bytes < 10 * 1024 * 1024);
+    }
+
+    #[test]
+    fn covar_count_never_exceeds_var_count() {
+        for nb in crate::all_notebooks(0.05) {
+            let trace = characterize(&nb);
+            assert!(
+                trace.covar_count <= trace.var_count,
+                "{}: {} covars > {} vars",
+                nb.name,
+                trace.covar_count,
+                trace.var_count
+            );
+        }
+    }
+}

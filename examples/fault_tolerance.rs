@@ -1,0 +1,87 @@
+//! Fault-tolerant time-traveling (§5.3): co-variables that cannot be
+//! serialized (or refuse to load back) are restored by *fallback
+//! recomputation* — Kishu loads the cell's recorded dependencies and
+//! re-runs its code, recursively if needed (Fig 11).
+//!
+//! ```text
+//! cargo run --example fault_tolerance
+//! ```
+
+use kishu::session::{KishuConfig, KishuSession};
+
+fn main() {
+    println!("== part 1: unserializable objects ==");
+    let mut s = KishuSession::in_memory(KishuConfig::default());
+    // `pl.LazyFrame` refuses to pickle (like a live query plan); Kishu
+    // skips its storage instead of failing the checkpoint.
+    s.run_cell("lazy = lib_obj('pl.LazyFrame', 4096, 5)\nrows = 10000\n")
+        .expect("runs");
+    let target = s.head();
+    let node = s.graph().node(target);
+    for sc in &node.delta {
+        println!(
+            "   stored co-variable {:?}: bytes on disk = {}",
+            sc.names,
+            if sc.blob.is_some() { sc.bytes.to_string() } else { "none (unserializable)".into() }
+        );
+    }
+    s.run_cell("del lazy\n").expect("runs");
+    let report = s.checkout(target).expect("checkout still works");
+    println!(
+        "   checkout restored it by recomputation: recomputed = {:?}",
+        report.recomputed
+    );
+
+    println!("== part 2: deserialization failures ==");
+    let mut s = KishuSession::in_memory(KishuConfig::default());
+    // `bokeh.figure` stores fine but refuses to rebuild; the load failure
+    // is detected at checkout and recovery falls back to replay.
+    s.run_cell("fig = lib_obj('bokeh.figure', 2048, 1)\n").expect("runs");
+    let target = s.head();
+    s.run_cell("fig = 'overwritten'\n").expect("runs");
+    let report = s.checkout(target).expect("checkout");
+    println!(
+        "   loaded = {:?}, recomputed = {:?}",
+        report.loaded, report.recomputed
+    );
+
+    println!("== part 3: recursive fallback along a chain (Fig 11) ==");
+    let mut config = KishuConfig::default();
+    // The blocklist (§6.2) forces recomputation for a class — here it makes
+    // the whole gmm chain storage-free, so restoring `plot` must walk
+    // t3 -> t2 -> t1 re-running cells.
+    config.blocklist.insert("sk.GaussianMixture".to_string());
+    let mut s = KishuSession::new(Box::new(kishu_storage::MemoryStore::new()), config);
+    s.run_cell("gmm = lib_obj('sk.GaussianMixture', 8192, 1)\n").expect("t1");
+    s.run_cell("gmm.fit(3)\n").expect("t2");
+    s.run_cell("plot = gmm.result(16)\n").expect("t3");
+    let t3 = s.head();
+    let fingerprint = s
+        .run_cell("plot.sum()\n")
+        .expect("runs")
+        .outcome
+        .value_repr;
+    s.run_cell("del plot\ndel gmm\n").expect("wipe");
+    let report = s.checkout(t3).expect("recursive fallback");
+    println!("   recomputed co-variables: {:?}", report.recomputed);
+    let restored = s
+        .run_cell("plot.sum()\n")
+        .expect("runs")
+        .outcome
+        .value_repr;
+    assert_eq!(fingerprint, restored, "deterministic chain restores exactly");
+    println!("   plot fingerprint identical before/after: {restored:?}");
+
+    println!("== part 4: the documented limitation ==");
+    let mut s = KishuSession::in_memory(KishuConfig::default());
+    // A nondeterministic cell whose output also cannot be stored cannot be
+    // exactly restored (§5.3 Remark) — recomputation re-draws the noise.
+    s.run_cell("noise = randn(8)\ng = make_generator()\nbag = [noise, g]\n")
+        .expect("runs");
+    let target = s.head();
+    let before = s.run_cell("noise.sum()\n").expect("runs").outcome.value_repr;
+    s.run_cell("del bag\ndel noise\ndel g\n").expect("wipe");
+    s.checkout(target).expect("fallback recomputes the cell");
+    let after = s.run_cell("noise.sum()\n").expect("runs").outcome.value_repr;
+    println!("   noise.sum() before={before:?} after={after:?} (differs: nondeterministic replay)");
+}

@@ -1,0 +1,52 @@
+//! Head-to-head on a real workload: run the paper's *Sklearn* text-mining
+//! notebook under Kishu and every baseline, then compare cumulative
+//! checkpoint cost and undo latency (a miniature of Figs 13–15).
+//!
+//! ```text
+//! cargo run --release --example method_comparison
+//! ```
+
+use kishu_bench::methods::{Driver, MethodKind};
+use kishu_bench::report::{fmt_bytes, fmt_duration, Table};
+use kishu_workloads::notebooks;
+
+fn main() {
+    let nb = notebooks::sklearn(0.3);
+    println!(
+        "workload: {} ({} cells, {})\n",
+        nb.name,
+        nb.cell_count(),
+        nb.topic
+    );
+
+    let mut t = Table::new(
+        "example",
+        "per-method checkpoint cost and undo latency on Sklearn",
+        &["Method", "cum. ckpt size", "cum. ckpt time", "undo last cell"],
+    );
+    for kind in MethodKind::ALL {
+        let mut d = Driver::new(kind);
+        let mut bytes = 0u64;
+        let mut time = std::time::Duration::ZERO;
+        for c in &nb.cells {
+            let cost = d.run_cell(c);
+            bytes += cost.ckpt_bytes;
+            time += cost.ckpt_time;
+        }
+        let (size_s, time_s, undo_s) = if d.failed.is_some() {
+            ("FAIL".to_string(), "FAIL".to_string(), "FAIL".to_string())
+        } else {
+            let undo = d.restore_to(nb.cells.len() - 2);
+            (
+                fmt_bytes(bytes),
+                fmt_duration(time),
+                undo.map(|c| fmt_duration(c.time)).unwrap_or_else(|_| "FAIL".into()),
+            )
+        };
+        t.row(vec![kind.label().to_string(), size_s, time_s, undo_s]);
+    }
+    println!("{}", t.render());
+    println!("expected shape (paper Figs 13-15): Kishu smallest+fastest among");
+    println!("data-storing methods; Det-replay smaller still; CRIU largest and");
+    println!("slowest to undo; DumpSession/ElasticNotebook pay full-state costs.");
+}

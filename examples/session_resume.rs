@@ -1,0 +1,53 @@
+//! Crash recovery / migration: persist a session to a durable store, "lose"
+//! the kernel, and resume in a fresh one — state, checkpoint graph, and
+//! time-traveling all intact.
+//!
+//! ```text
+//! cargo run --example session_resume
+//! ```
+
+use kishu::session::{KishuConfig, KishuSession};
+use kishu_storage::FileStore;
+
+fn main() {
+    let dir = std::env::temp_dir().join("kishu-resume-example");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("session.log");
+    let _ = std::fs::remove_file(&path);
+
+    println!("-- session #1: do some work, persist, and 'crash'");
+    {
+        let store = FileStore::create(&path).expect("create store");
+        let mut s = KishuSession::new(Box::new(store), KishuConfig::default());
+        s.run_cell("df = read_csv('experiments', 2000, 5, 3)\n").expect("runs");
+        s.run_cell("model = lib_obj('sk.KMeans', 65536, 1)\nmodel.fit(4)\n").expect("runs");
+        s.run_cell("score = model.score()\nprint(score)\n").expect("runs");
+        s.persist().expect("graph snapshot written");
+        println!(
+            "   persisted {} checkpoints ({} blobs on disk)",
+            s.graph().len(),
+            s.store_stats().blobs
+        );
+        // The kernel process dies here.
+    }
+
+    println!("-- session #2: fresh kernel, resume from the log file");
+    let store = FileStore::open(&path).expect("reopen store");
+    let mut s = KishuSession::resume(Box::new(store), KishuConfig::default())
+        .expect("resume restores the head state");
+    let out = s.run_cell("print(score)\nprint(len(df.columns))\n").expect("runs");
+    for line in &out.outcome.output {
+        println!("   {line}");
+    }
+
+    println!("-- and time-traveling still works across the restart:");
+    let g = s.graph().clone();
+    let first = g.children(g.root())[0];
+    s.checkout(first).expect("checkout a pre-crash checkpoint");
+    println!(
+        "   after checkout to checkpoint {}: model bound = {}",
+        first.0,
+        s.interp.globals.contains("model")
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,66 @@
+//! `kishu-repl` — an interactive time-traveling notebook in the terminal.
+//!
+//! ```text
+//! cargo run --bin kishu-repl
+//! In[1]> df = read_csv('sales', 1000, 6, 42)
+//! In[2]> df = df.drop('c2')
+//! In[3]> %undo
+//! ```
+//!
+//! Multi-line cells: end a line with `:` or `\` to continue; finish with an
+//! empty line. `%help` lists the commands.
+
+use std::io::{self, BufRead, Write};
+
+use kishu::session::KishuConfig;
+use kishu_repro::repl::Repl;
+
+fn main() {
+    let mut repl = Repl::new(KishuConfig::default());
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    println!("kishu-repl — time-traveling notebook (%help for commands, %quit to exit)");
+    let mut buffer = String::new();
+    let mut cell_no = 1;
+    loop {
+        if buffer.is_empty() {
+            print!("In[{cell_no}]> ");
+        } else {
+            print!("   ...> ");
+        }
+        stdout.flush().expect("stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let trimmed_end = line.trim_end();
+        if buffer.is_empty() && trimmed_end.trim() == "%quit" {
+            break;
+        }
+        // Continuation: an open block (line ends with ':'), an explicit
+        // backslash, or we're already inside a buffered cell and the line
+        // is non-empty.
+        let continues = trimmed_end.ends_with(':')
+            || trimmed_end.ends_with('\\')
+            || (!buffer.is_empty() && !trimmed_end.trim().is_empty());
+        buffer.push_str(trimmed_end.trim_end_matches('\\'));
+        buffer.push('\n');
+        if continues {
+            continue;
+        }
+        let input = std::mem::take(&mut buffer);
+        if input.trim().is_empty() {
+            continue;
+        }
+        for out in repl.handle(&input) {
+            println!("{out}");
+        }
+        cell_no += 1;
+    }
+    println!("bye");
+}

@@ -1,0 +1,26 @@
+//! # kishu-repro — workspace façade
+//!
+//! Re-exports the whole Kishu reproduction so the root package's examples
+//! and cross-crate integration tests have one import surface. See the
+//! individual crates for the real APIs:
+//!
+//! * [`kishu`] — the system (co-variables, delta detection, checkpoint
+//!   graph, incremental checkout, fallback recomputation);
+//! * [`kishu_kernel`] / [`kishu_minipy`] — the simulated notebook kernel
+//!   and its cell language;
+//! * [`kishu_pickle`] / [`kishu_storage`] / [`kishu_libsim`] — the
+//!   serialization, storage, and library-class substrates;
+//! * [`kishu_baselines`] — CRIU(-Inc), DumpSession, ElasticNotebook,
+//!   Det-replay, IPyFlow-style tracking;
+//! * [`kishu_workloads`] — the synthesized evaluation notebooks.
+
+pub mod repl;
+
+pub use kishu;
+pub use kishu_baselines;
+pub use kishu_kernel;
+pub use kishu_libsim;
+pub use kishu_minipy;
+pub use kishu_pickle;
+pub use kishu_storage;
+pub use kishu_workloads;

@@ -1,0 +1,223 @@
+//! The interactive shell behind `kishu-repl` — the demo experience: type
+//! cells, watch them checkpoint, and time-travel with `%` commands (the
+//! paper's in-Jupyter Command Palette, §3.2, as a terminal).
+
+use kishu::session::{KishuConfig, KishuSession};
+use kishu::NodeId;
+use kishu_minipy::repr::repr;
+
+/// A REPL wrapping one Kishu session.
+pub struct Repl {
+    session: KishuSession,
+}
+
+impl Default for Repl {
+    fn default() -> Self {
+        Self::new(KishuConfig::default())
+    }
+}
+
+impl Repl {
+    /// New in-memory session.
+    pub fn new(config: KishuConfig) -> Self {
+        Repl {
+            session: KishuSession::in_memory(config),
+        }
+    }
+
+    /// Access the wrapped session.
+    pub fn session(&mut self) -> &mut KishuSession {
+        &mut self.session
+    }
+
+    /// Handle one input: a `%command` or a complete cell. Returns the lines
+    /// to print.
+    pub fn handle(&mut self, input: &str) -> Vec<String> {
+        let trimmed = input.trim();
+        if trimmed.is_empty() {
+            return Vec::new();
+        }
+        if let Some(cmd) = trimmed.strip_prefix('%') {
+            return self.command(cmd);
+        }
+        self.run_cell(input)
+    }
+
+    fn run_cell(&mut self, src: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let src = if src.ends_with('\n') {
+            src.to_string()
+        } else {
+            format!("{src}\n")
+        };
+        match self.session.run_cell(&src) {
+            Err(e) => out.push(format!("syntax error: {e}")),
+            Ok(report) => {
+                out.extend(report.outcome.output.iter().cloned());
+                if let Some(v) = &report.outcome.value_repr {
+                    out.push(format!("Out[{}]: {v}", report.node.0));
+                }
+                if let Some(e) = &report.outcome.error {
+                    out.push(format!("error: {e}"));
+                }
+                out.push(format!(
+                    "[kishu] checkpoint {} ({} co-variable(s), {} B, {:?} tracking)",
+                    report.node.0,
+                    report.updated.len(),
+                    report.checkpoint_bytes,
+                    report.tracking_time,
+                ));
+            }
+        }
+        out
+    }
+
+    fn command(&mut self, cmd: &str) -> Vec<String> {
+        let mut parts = cmd.split_whitespace();
+        match parts.next() {
+            Some("help") => vec![
+                "%log                 show the checkpoint graph (head marked *)".into(),
+                "%vars                list session variables".into(),
+                "%covars              list co-variables (connected components)".into(),
+                "%undo                checkout the parent of the head".into(),
+                "%checkout <id>       checkout a checkpoint by id".into(),
+                "%stats               storage and tracking totals".into(),
+                "%help                this text".into(),
+                "%quit                exit".into(),
+            ],
+            Some("log") => self.session.log(),
+            Some("vars") => {
+                let mut lines = Vec::new();
+                let names = self.session.interp.globals.names();
+                if names.is_empty() {
+                    lines.push("(no variables)".into());
+                }
+                for name in names {
+                    let obj = self.session.interp.globals.peek(&name).expect("listed");
+                    lines.push(format!("{name} = {}", repr(&self.session.interp.heap, obj)));
+                }
+                lines
+            }
+            Some("covars") => self
+                .session
+                .covariables()
+                .iter()
+                .map(|c| format!("{{{}}}", c.iter().cloned().collect::<Vec<_>>().join(", ")))
+                .collect(),
+            Some("undo") => {
+                let head = self.session.head();
+                match self.session.graph().node(head).parent {
+                    None => vec!["already at the root".into()],
+                    Some(parent) => self.do_checkout(parent),
+                }
+            }
+            Some("checkout") => match parts.next().and_then(|s| s.parse::<u32>().ok()) {
+                Some(id) => self.do_checkout(NodeId(id)),
+                None => vec!["usage: %checkout <id> (see %log)".into()],
+            },
+            Some("stats") => {
+                let store = self.session.store_stats();
+                let m = self.session.metrics();
+                vec![
+                    format!(
+                        "checkpoints: {} nodes, {} blobs, {} payload bytes",
+                        self.session.graph().len(),
+                        store.blobs,
+                        store.payload_bytes
+                    ),
+                    format!(
+                        "totals: {:?} cell time, {:?} tracking, {:?} checkpointing",
+                        m.total_cell_time(),
+                        m.total_tracking(),
+                        m.total_checkpoint()
+                    ),
+                ]
+            }
+            Some(other) => vec![format!("unknown command %{other} (try %help)")],
+            None => vec!["empty command (try %help)".into()],
+        }
+    }
+
+    fn do_checkout(&mut self, target: NodeId) -> Vec<String> {
+        match self.session.checkout(target) {
+            Ok(report) => vec![format!(
+                "[kishu] checked out {} — loaded {}, recomputed {}, removed {}, {} identical, in {:?}",
+                target.0,
+                report.loaded.len(),
+                report.recomputed.len(),
+                report.removed.len(),
+                report.identical,
+                report.wall_time
+            )],
+            Err(e) => vec![format!("checkout failed: {e}")],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn output(repl: &mut Repl, input: &str) -> String {
+        repl.handle(input).join("\n")
+    }
+
+    #[test]
+    fn cells_execute_and_checkpoint() {
+        let mut r = Repl::default();
+        let out = output(&mut r, "x = [1, 2, 3]");
+        assert!(out.contains("checkpoint 1"));
+        let out = output(&mut r, "sum(x)");
+        assert!(out.contains("Out[2]: 6"));
+    }
+
+    #[test]
+    fn undo_restores_previous_state() {
+        let mut r = Repl::default();
+        r.handle("ls = [1]");
+        r.handle("ls.append(2)");
+        assert!(output(&mut r, "len(ls)").contains("Out[3]: 2"));
+        let out = output(&mut r, "%undo"); // undo the probe (no-op state)
+        assert!(out.contains("checked out"));
+        let out = output(&mut r, "%checkout 1");
+        assert!(out.contains("checked out 1"));
+        assert!(output(&mut r, "len(ls)").contains(": 1"));
+    }
+
+    #[test]
+    fn introspection_commands() {
+        let mut r = Repl::default();
+        r.handle("a = 1\nb = a");
+        let vars = output(&mut r, "%vars");
+        assert!(vars.contains("a = 1") && vars.contains("b = 1"));
+        let covars = output(&mut r, "%covars");
+        assert!(covars.contains("{a, b}"), "{covars}");
+        let log = output(&mut r, "%log");
+        assert!(log.contains('*'));
+        let stats = output(&mut r, "%stats");
+        assert!(stats.contains("checkpoints"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut r = Repl::default();
+        let out = output(&mut r, "boom(");
+        assert!(out.contains("syntax error"));
+        let out = output(&mut r, "boom()");
+        assert!(out.contains("error:"));
+        assert!(out.contains("checkpoint"), "failed cells still checkpoint");
+        let out = output(&mut r, "%nonsense");
+        assert!(out.contains("unknown command"));
+        let out = output(&mut r, "%checkout notanumber");
+        assert!(out.contains("usage"));
+        let out = output(&mut r, "%checkout 999");
+        assert!(out.contains("checkout failed"));
+    }
+
+    #[test]
+    fn undo_at_root_is_graceful() {
+        let mut r = Repl::default();
+        let out = output(&mut r, "%undo");
+        assert!(out.contains("already at the root"));
+    }
+}

@@ -1,0 +1,137 @@
+//! The paper's five evaluation claims (§7), as executable assertions at
+//! test scale. EXPERIMENTS.md records the full-scale `repro` outputs.
+
+use std::time::Duration;
+
+use kishu_bench::experiments::{checkpoint, tracking};
+use kishu_bench::methods::{Driver, MethodKind};
+use kishu_libsim::Registry;
+use kishu_workloads::{cell, notebooks};
+
+/// Claim 1 (§7.2): Kishu checkpoints and checks out session states holding
+/// any of the 146 classes — zero failures.
+#[test]
+fn claim1_kishu_handles_all_146_classes() {
+    let registry = Registry::standard();
+    for spec in registry.classes() {
+        let mut d = Driver::new(MethodKind::Kishu);
+        d.run_cell(&cell(format!("x = lib_obj('{}', 256, 3)\n", spec.name)));
+        d.run_cell(&cell("y = 1\n"));
+        assert!(d.failed.is_none(), "{}: checkpoint failed", spec.name);
+        d.restore_to(0)
+            .unwrap_or_else(|e| panic!("{}: checkout failed: {e}", spec.name));
+        assert_eq!(
+            d.probe("type(x)").as_deref(),
+            Some("'external'"),
+            "{}: object not restored",
+            spec.name
+        );
+        assert!(d.probe("y").is_none(), "{}: later state leaked", spec.name);
+    }
+}
+
+/// Claim 2 (§7.3): Kishu's cumulative incremental checkpoints are smaller
+/// than every alternative that stores data unconditionally.
+#[test]
+fn claim2_smallest_checkpoints() {
+    for nb in [notebooks::hw_lm(0.1), notebooks::sklearn(0.1)] {
+        let kishu = checkpoint::run_notebook(&nb, MethodKind::Kishu)
+            .bytes
+            .expect("kishu never fails");
+        for kind in [
+            MethodKind::DumpSession,
+            MethodKind::CriuFull,
+            MethodKind::CriuIncremental,
+        ] {
+            if let Some(bytes) = checkpoint::run_notebook(&nb, kind).bytes {
+                assert!(
+                    kishu < bytes,
+                    "{}: Kishu {kishu} not smaller than {} {bytes}",
+                    nb.name,
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+/// Claim 3 (§7.4): Kishu's checkpoint time is a small fraction of notebook
+/// runtime (the paper's bound is 15.5%; we allow head-room for the
+/// unoptimized simulator at tiny cell times).
+#[test]
+fn claim3_checkpoint_time_is_a_fraction_of_runtime() {
+    let nb = notebooks::torch_gpu(0.2);
+    let r = checkpoint::run_notebook(&nb, MethodKind::Kishu);
+    let ckpt = r.time.expect("kishu ok");
+    let run = r.cell_time.max(Duration::from_micros(1));
+    assert!(
+        ckpt < run,
+        "checkpointing ({ckpt:?}) should not dominate execution ({run:?})"
+    );
+}
+
+/// Claim 4 (§7.5): Kishu's incremental checkout beats every complete
+/// restore for undoing a small cell on a large state.
+#[test]
+fn claim4_fastest_undo() {
+    let nb = notebooks::sklearn(0.3);
+    let undo = |kind: MethodKind| -> Option<Duration> {
+        let mut d = Driver::new(kind);
+        for c in &nb.cells {
+            d.run_cell(c);
+        }
+        if d.failed.is_some() {
+            return None;
+        }
+        d.restore_to(nb.cells.len() - 2).ok().map(|c| c.time)
+    };
+    let kishu = undo(MethodKind::Kishu).expect("kishu works");
+    for kind in [
+        MethodKind::DumpSession,
+        MethodKind::ElasticNotebook,
+        MethodKind::CriuFull,
+        MethodKind::CriuIncremental,
+    ] {
+        if let Some(t) = undo(kind) {
+            assert!(
+                kishu < t,
+                "Kishu undo ({kishu:?}) must beat {} ({t:?})",
+                kind.label()
+            );
+        }
+    }
+}
+
+/// Claim 5 (§7.6): delta tracking costs a few percent of runtime and beats
+/// the check-all ablation on state-heavy notebooks.
+#[test]
+fn claim5_low_tracking_overhead() {
+    let nb = notebooks::sklearn(0.3);
+    let ours = tracking::run_kishu_tracking(&nb, false);
+    let ablated = tracking::run_kishu_tracking(&nb, true);
+    assert!(
+        ours.total() < ablated.total(),
+        "pruning must win: {:?} vs {:?}",
+        ours.total(),
+        ablated.total()
+    );
+    // The paper's ≤2-3%-of-runtime bound is measured against real ML cell
+    // times (seconds); our simulated cells are far lighter, which inflates
+    // the ratio. Assert the percentage where compute is heaviest, and only
+    // sanity-bound the light-cell notebook.
+    assert!(
+        ours.percent() < 100.0,
+        "tracking dominates runtime ({:.1}%)",
+        ours.percent()
+    );
+    let heavy = notebooks::torch_gpu(0.5);
+    let heavy_run = tracking::run_kishu_tracking(&heavy, false);
+    // Debug builds slow the hash fast-path ~10x; the release-mode number
+    // (recorded by `repro table6` in EXPERIMENTS.md) sits in the paper's
+    // band. Keep a generous debug-build bound here.
+    assert!(
+        heavy_run.percent() < 60.0,
+        "tracking at {:.1}% of a compute-heavy notebook's runtime",
+        heavy_run.percent()
+    );
+}

@@ -1,0 +1,148 @@
+//! Property tests of the kernel substrate's invariants: the heap's GC and
+//! page accounting, and the namespace's access-tracking laws.
+
+use kishu_kernel::{Heap, Namespace, ObjId, ObjKind};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum HeapOp {
+    AllocInt(i64),
+    AllocList,
+    /// Push object `a % live` into list `b % live` (if the target is a
+    /// list).
+    Link(usize, usize),
+    /// Mutate object `a % live` (if an int or array).
+    Mutate(usize),
+    /// Drop root `a % roots`.
+    DropRoot(usize),
+    Gc,
+}
+
+fn op_strategy() -> impl Strategy<Value = HeapOp> {
+    prop_oneof![
+        any::<i64>().prop_map(HeapOp::AllocInt),
+        Just(HeapOp::AllocList),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| HeapOp::Link(a, b)),
+        any::<usize>().prop_map(HeapOp::Mutate),
+        any::<usize>().prop_map(HeapOp::DropRoot),
+        Just(HeapOp::Gc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any operation sequence: every object reachable from a root is
+    /// live, every collected object is unreachable, and stats agree with a
+    /// fresh traversal.
+    #[test]
+    fn gc_preserves_exactly_the_reachable(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut heap = Heap::new();
+        let mut roots: Vec<ObjId> = Vec::new();
+        for op in ops {
+            match op {
+                HeapOp::AllocInt(v) => roots.push(heap.alloc(ObjKind::Int(v))),
+                HeapOp::AllocList => roots.push(heap.alloc(ObjKind::List(Vec::new()))),
+                HeapOp::Link(a, b) => {
+                    if roots.is_empty() {
+                        continue;
+                    }
+                    let src = roots[a % roots.len()];
+                    let dst = roots[b % roots.len()];
+                    if matches!(heap.kind(dst), ObjKind::List(_)) {
+                        heap.modify(dst, |k| {
+                            if let ObjKind::List(items) = k {
+                                items.push(src);
+                            }
+                        });
+                    }
+                }
+                HeapOp::Mutate(a) => {
+                    if roots.is_empty() {
+                        continue;
+                    }
+                    let id = roots[a % roots.len()];
+                    if matches!(heap.kind(id), ObjKind::Int(_)) {
+                        heap.modify(id, |k| {
+                            if let ObjKind::Int(v) = k {
+                                *v = v.wrapping_add(1);
+                            }
+                        });
+                    }
+                }
+                HeapOp::DropRoot(a) => {
+                    if !roots.is_empty() {
+                        let idx = a % roots.len();
+                        roots.swap_remove(idx);
+                    }
+                }
+                HeapOp::Gc => {
+                    heap.collect_garbage(roots.iter().copied());
+                    // Every root and everything reachable from it survives.
+                    for r in &roots {
+                        for obj in heap.reachable_from(*r) {
+                            prop_assert!(heap.is_live(obj));
+                        }
+                    }
+                }
+            }
+        }
+        // Final GC: live set equals the closure of the roots.
+        heap.collect_garbage(roots.iter().copied());
+        let mut expected: std::collections::BTreeSet<ObjId> = Default::default();
+        for r in &roots {
+            expected.extend(heap.reachable_from(*r));
+        }
+        let live: std::collections::BTreeSet<ObjId> = heap.live_objects().collect();
+        prop_assert_eq!(live, expected);
+        // Stats agree.
+        let stats = heap.stats();
+        prop_assert_eq!(stats.live_objects, heap.live_objects().count());
+    }
+
+    /// Dirty pages are always a subset of live pages, and clearing empties
+    /// them.
+    #[test]
+    fn dirty_pages_are_live_pages(sizes in prop::collection::vec(1usize..4000, 1..30)) {
+        let mut heap = Heap::new();
+        let mut ids = Vec::new();
+        for n in &sizes {
+            ids.push(heap.alloc(ObjKind::NdArray(vec![0.0; *n])));
+        }
+        heap.clear_dirty_pages();
+        prop_assert!(heap.dirty_pages().is_empty());
+        for id in &ids {
+            heap.modify(*id, |k| {
+                if let ObjKind::NdArray(v) = k {
+                    v[0] = 1.0;
+                }
+            });
+        }
+        let live: std::collections::BTreeSet<u64> = heap.live_pages().into_iter().collect();
+        for p in heap.dirty_pages() {
+            prop_assert!(live.contains(&p), "dirty page {p} not live");
+        }
+    }
+
+    /// Namespace law: the access record is exactly the tracked operations,
+    /// and untracked operations never leak into it.
+    #[test]
+    fn namespace_records_exactly_tracked_accesses(
+        names in prop::collection::vec("[a-z]{1,5}", 1..12),
+        tracked in prop::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let mut ns = Namespace::new();
+        ns.begin_tracking();
+        let mut expected: std::collections::BTreeSet<String> = Default::default();
+        for (name, t) in names.iter().zip(&tracked) {
+            if *t {
+                ns.set(name, ObjId(1));
+                expected.insert(name.clone());
+            } else {
+                ns.set_untracked(name, ObjId(1));
+            }
+        }
+        let rec = ns.end_tracking();
+        prop_assert_eq!(rec.accessed(), expected);
+    }
+}
