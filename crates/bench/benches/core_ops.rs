@@ -2,11 +2,13 @@
 //! DESIGN.md calls out: VarGraph hash fast-path vs full array values,
 //! candidate pruning vs check-all, LCA/state-diff cost vs branch depth,
 //! pickle throughput, and storage primitives.
+//!
+//! Runs under the in-tree `kishu_testkit::bench` harness (`harness =
+//! false`): `cargo bench --bench core_ops [-- <filter>]`, or
+//! `KISHU_BENCH_QUICK=1` for a smoke run.
 
-use std::hint::black_box;
 use std::rc::Rc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kishu::delta::DeltaDetector;
 use kishu::graph::{CheckpointGraph, StoredCoVar};
 use kishu::vargraph::{VarGraph, VarGraphConfig};
@@ -15,6 +17,7 @@ use kishu_libsim::Registry;
 use kishu_minipy::Interp;
 use kishu_pickle::{dumps, loads, NoopReducer};
 use kishu_storage::crc32::crc32;
+use kishu_testkit::bench::{black_box, Bench};
 
 fn prepared_interp(src: &str) -> Interp {
     let mut i = Interp::new();
@@ -26,150 +29,137 @@ fn prepared_interp(src: &str) -> Interp {
 
 /// VarGraph construction cost vs component size, and the §6.2 hash-vs-full
 /// array ablation.
-fn bench_vargraph(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vargraph_build");
-    for n in [100usize, 10_000, 1_000_000] {
-        let i = prepared_interp(&format!("arr = arange({n})\n"));
-        let root = i.globals.peek("arr").expect("bound");
-        for (label, hash) in [("hash", true), ("full", false)] {
-            let config = VarGraphConfig {
-                registry: Rc::new(Registry::standard()),
-                hash_arrays: hash,
-            hash_primitive_lists: false,
-            };
-            group.bench_with_input(
-                BenchmarkId::new(format!("array_{label}"), n),
-                &n,
-                |b, _| {
-                    let mut nonce = 0;
-                    b.iter(|| black_box(VarGraph::build(&i.heap, root, &config, &mut nonce)));
-                },
-            );
+fn bench_vargraph(b: &mut Bench) {
+    b.group("vargraph_build", |g| {
+        for n in [100usize, 10_000, 1_000_000] {
+            let i = prepared_interp(&format!("arr = arange({n})\n"));
+            let root = i.globals.peek("arr").expect("bound");
+            for (label, hash) in [("hash", true), ("full", false)] {
+                let config = VarGraphConfig {
+                    registry: Rc::new(Registry::standard()),
+                    hash_arrays: hash,
+                    hash_primitive_lists: false,
+                };
+                let mut nonce = 0;
+                g.bench(&format!("array_{label}/{n}"), || {
+                    black_box(VarGraph::build(&i.heap, root, &config, &mut nonce))
+                });
+            }
         }
-    }
-    // A fragmented string-list component (the Sklearn shape).
-    let i = prepared_interp(
-        "ls = []\nfor k in range(2000):\n    ls.append('tweet ' + str(k))\n",
-    );
-    let root = i.globals.peek("ls").expect("bound");
-    let config = VarGraphConfig {
-        registry: Rc::new(Registry::standard()),
-        hash_arrays: true,
+        // A fragmented string-list component (the Sklearn shape).
+        let i = prepared_interp(
+            "ls = []\nfor k in range(2000):\n    ls.append('tweet ' + str(k))\n",
+        );
+        let root = i.globals.peek("ls").expect("bound");
+        let config = VarGraphConfig {
+            registry: Rc::new(Registry::standard()),
+            hash_arrays: true,
             hash_primitive_lists: false,
-    };
-    group.bench_function("string_list_2000", |b| {
+        };
         let mut nonce = 0;
-        b.iter(|| black_box(VarGraph::build(&i.heap, root, &config, &mut nonce)));
+        g.bench("string_list_2000", || {
+            black_box(VarGraph::build(&i.heap, root, &config, &mut nonce))
+        });
     });
-    group.finish();
 }
 
 /// Fig 17's mechanism in microcosm: per-cell delta detection with candidate
 /// pruning vs check-all, against a growing bystander state.
-fn bench_delta_detection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("delta_detect");
-    for bystanders in [10usize, 100] {
-        let mut setup = String::new();
-        for k in 0..bystanders {
-            setup.push_str(&format!("big{k} = arange(2000)\n"));
+fn bench_delta_detection(b: &mut Bench) {
+    b.group("delta_detect", |g| {
+        for bystanders in [10usize, 100] {
+            let mut setup = String::new();
+            for k in 0..bystanders {
+                setup.push_str(&format!("big{k} = arange(2000)\n"));
+            }
+            setup.push_str("small = [1, 2, 3]\n");
+            for (label, check_all) in [("kishu", false), ("check_all", true)] {
+                let mut i = prepared_interp(&setup);
+                let registry = Rc::new(Registry::standard());
+                let mut det = DeltaDetector::new(registry, true, check_all);
+                // Prime the caches. The benched mutation pokes in place
+                // (no growth), so per-iteration cost stays stationary.
+                let out = i.run_cell("small[0] = 0\n").expect("parses");
+                det.on_cell(&i.heap, &i.globals, &out.access);
+                g.bench(&format!("{label}/{bystanders}"), || {
+                    let out = i.run_cell("small[0] = small[0] + 1\n").expect("parses");
+                    black_box(det.on_cell(&i.heap, &i.globals, &out.access))
+                });
+            }
         }
-        setup.push_str("small = [1, 2, 3]\n");
-        for (label, check_all) in [("kishu", false), ("check_all", true)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, bystanders),
-                &bystanders,
-                |b, _| {
-                    let mut i = prepared_interp(&setup);
-                    let registry = Rc::new(Registry::standard());
-                    let mut det = DeltaDetector::new(registry, true, check_all);
-                    // Prime the caches. The benched mutation pokes in place
-                    // (no growth), so per-iteration cost stays stationary.
-                    let out = i.run_cell("small[0] = 0\n").expect("parses");
-                    det.on_cell(&i.heap, &i.globals, &out.access);
-                    b.iter(|| {
-                        let out = i.run_cell("small[0] = small[0] + 1\n").expect("parses");
-                        black_box(det.on_cell(&i.heap, &i.globals, &out.access))
-                    });
-                },
-            );
-        }
-    }
-    group.finish();
+    });
 }
 
 /// Fig 19's mechanism: LCA + state reconstruction cost vs chain depth.
-fn bench_state_diff(c: &mut Criterion) {
-    let mut group = c.benchmark_group("state_diff");
-    for depth in [100u32, 1000] {
-        let mut g = CheckpointGraph::new();
-        let mut nodes = Vec::new();
-        for i in 0..depth {
-            let key: std::collections::BTreeSet<String> =
-                [format!("v{}", i % 40)].into_iter().collect();
-            nodes.push(g.commit(
-                format!("cell {i}"),
-                vec![StoredCoVar {
-                    names: key,
-                    blob: Some(i as u64),
-                    bytes: 100,
-                }],
-                vec![],
-                vec![],
-            ));
+fn bench_state_diff(b: &mut Bench) {
+    b.group("state_diff", |g| {
+        for depth in [100u32, 1000] {
+            let mut graph = CheckpointGraph::new();
+            let mut nodes = Vec::new();
+            for i in 0..depth {
+                let key: std::collections::BTreeSet<String> =
+                    [format!("v{}", i % 40)].into_iter().collect();
+                nodes.push(graph.commit(
+                    format!("cell {i}"),
+                    vec![StoredCoVar {
+                        names: key,
+                        blob: Some(i as u64),
+                        bytes: 100,
+                    }],
+                    vec![],
+                    vec![],
+                ));
+            }
+            let head = *nodes.last().expect("nonempty");
+            let target = nodes[nodes.len() / 2];
+            g.bench(&format!("diff/{depth}"), || black_box(graph.diff(head, target)));
+            g.bench(&format!("lca_walk/{depth}"), || {
+                black_box(graph.lca(head, nodes[0]))
+            });
+            let idx = graph.lca_index();
+            g.bench(&format!("lca_lifted/{depth}"), || {
+                black_box(idx.lca(head, nodes[0]))
+            });
         }
-        let head = *nodes.last().expect("nonempty");
-        let target = nodes[nodes.len() / 2];
-        group.bench_with_input(BenchmarkId::new("diff", depth), &depth, |b, _| {
-            b.iter(|| black_box(g.diff(head, target)));
-        });
-        group.bench_with_input(BenchmarkId::new("lca_walk", depth), &depth, |b, _| {
-            b.iter(|| black_box(g.lca(head, nodes[0])));
-        });
-        let idx = g.lca_index();
-        group.bench_with_input(BenchmarkId::new("lca_lifted", depth), &depth, |b, _| {
-            b.iter(|| black_box(idx.lca(head, nodes[0])));
-        });
-    }
-    group.finish();
+    });
 }
 
 /// Pickle throughput on a dataframe-shaped megabyte, dump and load.
-fn bench_pickle(c: &mut Criterion) {
+fn bench_pickle(b: &mut Bench) {
     let i = prepared_interp("df = read_csv('bench', 16000, 8, 1)\n");
     let root = i.globals.peek("df").expect("bound");
-    let mut group = c.benchmark_group("pickle");
-    group.bench_function("dumps_1mb_frame", |b| {
-        b.iter(|| black_box(dumps(&i.heap, &[root], &NoopReducer).expect("dumps")))
-    });
-    let blob = dumps(&i.heap, &[root], &NoopReducer).expect("dumps");
-    group.bench_function("loads_1mb_frame", |b| {
-        b.iter(|| {
+    b.group("pickle", |g| {
+        g.bench("dumps_1mb_frame", || {
+            black_box(dumps(&i.heap, &[root], &NoopReducer).expect("dumps"))
+        });
+        let blob = dumps(&i.heap, &[root], &NoopReducer).expect("dumps");
+        g.bench("loads_1mb_frame", || {
             let mut heap = kishu_kernel::Heap::new();
             black_box(loads(&mut heap, &blob, &NoopReducer).expect("loads"))
-        })
+        });
     });
-    group.finish();
 }
 
 /// Extension ablations: primitive-list hashing (§7.6) and rule-based
 /// read-only cell skipping (§6.2).
-fn bench_extensions(c: &mut Criterion) {
-    let mut group = c.benchmark_group("extensions");
-    // List hashing: VarGraph build over a 2000-string list.
-    let i = prepared_interp("ls = []\nfor k in range(2000):\n    ls.append('tweet ' + str(k))\n");
-    let root = i.globals.peek("ls").expect("bound");
-    for (label, hash_lists) in [("list_nodes", false), ("list_digest", true)] {
-        let mut config = VarGraphConfig::new(Rc::new(Registry::standard()));
-        config.hash_primitive_lists = hash_lists;
-        group.bench_function(format!("vargraph_{label}_2000"), |b| {
+fn bench_extensions(b: &mut Bench) {
+    b.group("extensions", |g| {
+        // List hashing: VarGraph build over a 2000-string list.
+        let i = prepared_interp(
+            "ls = []\nfor k in range(2000):\n    ls.append('tweet ' + str(k))\n",
+        );
+        let root = i.globals.peek("ls").expect("bound");
+        for (label, hash_lists) in [("list_nodes", false), ("list_digest", true)] {
+            let mut config = VarGraphConfig::new(Rc::new(Registry::standard()));
+            config.hash_primitive_lists = hash_lists;
             let mut nonce = 0;
-            b.iter(|| black_box(VarGraph::build(&i.heap, root, &config, &mut nonce)));
-        });
-    }
-    // Rule-based cells: tracking cost of a read-only inspection cell.
-    use kishu::session::{KishuConfig, KishuSession};
-    for (label, rules) in [("rules_off", false), ("rules_on", true)] {
-        group.bench_function(format!("print_cell_{label}"), |b| {
+            g.bench(&format!("vargraph_{label}_2000"), || {
+                black_box(VarGraph::build(&i.heap, root, &config, &mut nonce))
+            });
+        }
+        // Rule-based cells: tracking cost of a read-only inspection cell.
+        use kishu::session::{KishuConfig, KishuSession};
+        for (label, rules) in [("rules_off", false), ("rules_on", true)] {
             let config = KishuConfig {
                 rule_based_cells: rules,
                 auto_checkpoint: false,
@@ -178,24 +168,29 @@ fn bench_extensions(c: &mut Criterion) {
             let mut s = KishuSession::in_memory(config);
             s.run_cell("big = []\nfor k in range(2000):\n    big.append('item ' + str(k))\n")
                 .expect("runs");
-            b.iter(|| black_box(s.run_cell("big[:10]\n").expect("runs").tracking_time));
-        });
-    }
-    group.finish();
+            g.bench(&format!("print_cell_{label}"), || {
+                black_box(s.run_cell("big[:10]\n").expect("runs").tracking_time)
+            });
+        }
+    });
 }
 
 /// Hash and checksum primitives.
-fn bench_hashes(c: &mut Criterion) {
+fn bench_hashes(b: &mut Bench) {
     let data = vec![0xA5u8; 1 << 20];
-    let mut group = c.benchmark_group("hashes");
-    group.bench_function("xxh64_1mb", |b| b.iter(|| black_box(xxh64(&data, 0))));
-    group.bench_function("crc32_1mb", |b| b.iter(|| black_box(crc32(&data))));
-    group.finish();
+    b.group("hashes", |g| {
+        g.bench("xxh64_1mb", || black_box(xxh64(&data, 0)));
+        g.bench("crc32_1mb", || black_box(crc32(&data)));
+    });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_vargraph, bench_delta_detection, bench_state_diff, bench_pickle, bench_extensions, bench_hashes
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_env("core_ops");
+    bench_vargraph(&mut b);
+    bench_delta_detection(&mut b);
+    bench_state_diff(&mut b);
+    bench_pickle(&mut b);
+    bench_extensions(&mut b);
+    bench_hashes(&mut b);
+    b.finish();
+}

@@ -1,17 +1,18 @@
 //! End-to-end time-travel benchmarks: the per-figure operations measured
-//! under Criterion (the `repro` binary regenerates the full tables; these
-//! pin the core latencies with statistical rigor).
+//! under the in-tree timing harness (the `repro` binary regenerates the
+//! full tables; these pin the core latencies).
 //!
 //! * `fig13_checkpoint_cell/*` — one incremental cell checkpoint per
 //!   method on a realistic mid-notebook state.
 //! * `fig15_undo/*` — undoing one cell per method.
 //! * `fig18_covar_share/*` — Kishu's checkpoint cost at 10% vs 100% of the
 //!   state in one co-variable.
+//!
+//! Runs with `cargo bench --bench time_travel [-- <filter>]`, or
+//! `KISHU_BENCH_QUICK=1` for a smoke run.
 
-use std::hint::black_box;
-
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use kishu_bench::methods::{Driver, MethodKind};
+use kishu_testkit::bench::{black_box, Bench};
 use kishu_workloads::sweeps::shared_ref_workload;
 use kishu_workloads::{cell, Cell};
 
@@ -25,16 +26,15 @@ fn setup_cells() -> Vec<Cell> {
 
 /// Per-method cost of checkpointing one small-delta cell on a meaningful
 /// state (the Fig 13/14 inner loop).
-fn bench_checkpoint_cell(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig13_checkpoint_cell");
-    group.sample_size(10);
-    for kind in [
-        MethodKind::Kishu,
-        MethodKind::DumpSession,
-        MethodKind::CriuIncremental,
-    ] {
-        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
-            b.iter_batched(
+fn bench_checkpoint_cell(b: &mut Bench) {
+    b.group("fig13_checkpoint_cell", |g| {
+        for kind in [
+            MethodKind::Kishu,
+            MethodKind::DumpSession,
+            MethodKind::CriuIncremental,
+        ] {
+            g.bench_batched(
+                kind.label(),
                 || {
                     let mut d = Driver::new(kind);
                     for cl in setup_cells() {
@@ -43,25 +43,22 @@ fn bench_checkpoint_cell(c: &mut Criterion) {
                     d
                 },
                 |mut d| black_box(d.run_cell(&cell("small.append(9)\n"))),
-                BatchSize::PerIteration,
             );
-        });
-    }
-    group.finish();
+        }
+    });
 }
 
 /// Per-method cost of undoing one cell (the Fig 15 inner loop).
-fn bench_undo(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig15_undo");
-    group.sample_size(10);
-    for kind in [
-        MethodKind::Kishu,
-        MethodKind::DumpSession,
-        MethodKind::CriuIncremental,
-        MethodKind::ElasticNotebook,
-    ] {
-        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
-            b.iter_batched(
+fn bench_undo(b: &mut Bench) {
+    b.group("fig15_undo", |g| {
+        for kind in [
+            MethodKind::Kishu,
+            MethodKind::DumpSession,
+            MethodKind::CriuIncremental,
+            MethodKind::ElasticNotebook,
+        ] {
+            g.bench_batched(
+                kind.label(),
                 || {
                     let mut d = Driver::new(kind);
                     for cl in setup_cells() {
@@ -71,39 +68,35 @@ fn bench_undo(c: &mut Criterion) {
                     d
                 },
                 |mut d| black_box(d.restore_to(2).expect("restores")),
-                BatchSize::PerIteration,
             );
-        });
-    }
-    group.finish();
+        }
+    });
 }
 
 /// Kishu's checkpoint cost at the two ends of the Fig 18 sweep.
-fn bench_covar_share(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig18_covar_share");
-    group.sample_size(10);
-    for in_list in [1usize, 10] {
-        group.bench_with_input(
-            BenchmarkId::new("kishu_modify_ckpt", format!("{}pct", in_list * 10)),
-            &in_list,
-            |b, &in_list| {
-                let (setup, modify) = shared_ref_workload(50_000, 10, in_list);
-                b.iter_batched(
-                    || {
-                        let mut d = Driver::new(MethodKind::Kishu);
-                        for cl in &setup {
-                            d.run_cell(cl);
-                        }
-                        d
-                    },
-                    |mut d| black_box(d.run_cell(&modify)),
-                    BatchSize::PerIteration,
-                );
-            },
-        );
-    }
-    group.finish();
+fn bench_covar_share(b: &mut Bench) {
+    b.group("fig18_covar_share", |g| {
+        for in_list in [1usize, 10] {
+            let (setup, modify) = shared_ref_workload(50_000, 10, in_list);
+            g.bench_batched(
+                &format!("kishu_modify_ckpt/{}pct", in_list * 10),
+                || {
+                    let mut d = Driver::new(MethodKind::Kishu);
+                    for cl in &setup {
+                        d.run_cell(cl);
+                    }
+                    d
+                },
+                |mut d| black_box(d.run_cell(&modify)),
+            );
+        }
+    });
 }
 
-criterion_group!(benches, bench_checkpoint_cell, bench_undo, bench_covar_share);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_env("time_travel");
+    bench_checkpoint_cell(&mut b);
+    bench_undo(&mut b);
+    bench_covar_share(&mut b);
+    b.finish();
+}

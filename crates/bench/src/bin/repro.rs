@@ -9,6 +9,7 @@ use std::io::Write as _;
 
 use kishu_bench::experiments::{checkout, checkpoint, robustness, sweeps, tracking, workload_tables};
 use kishu_bench::report::Table;
+use kishu_testkit::json::Json;
 
 struct Args {
     targets: Vec<String>,
@@ -101,7 +102,7 @@ fn main() {
         die("no experiment matched; see --help");
     }
     if let Some(path) = args.json {
-        let json = serde_json::to_string_pretty(&tables).expect("tables serialize");
+        let json = Json::Array(tables.iter().map(Table::to_json).collect()).pretty();
         let mut f = std::fs::File::create(&path)
             .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
         f.write_all(json.as_bytes())

@@ -2,10 +2,10 @@
 
 use std::fmt::Write as _;
 
-use serde::Serialize;
+use kishu_testkit::json::Json;
 
 /// A rendered experiment: a title, column headers, and rows of cells.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Paper artifact this regenerates (e.g. `"Fig 13"`).
     pub artifact: String,
@@ -70,6 +70,21 @@ impl Table {
         }
         out
     }
+
+    /// JSON form used by `repro --json` and the checked-in baseline.
+    pub fn to_json(&self) -> Json {
+        let strings = |xs: &[String]| Json::Array(xs.iter().map(|s| Json::Str(s.clone())).collect());
+        Json::obj(vec![
+            ("artifact", Json::Str(self.artifact.clone())),
+            ("title", Json::Str(self.title.clone())),
+            ("columns", strings(&self.columns)),
+            (
+                "rows",
+                Json::Array(self.rows.iter().map(|r| strings(r)).collect()),
+            ),
+            ("notes", strings(&self.notes)),
+        ])
+    }
 }
 
 /// Format a byte count human-readably.
@@ -120,6 +135,20 @@ mod tests {
     fn arity_is_checked() {
         let mut t = Table::new("T", "demo", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn table_serializes_to_json() {
+        let mut t = Table::new("Fig X", "demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.note("n");
+        let json = t.to_json();
+        assert_eq!(json.get("artifact").and_then(Json::as_str), Some("Fig X"));
+        let rows = json.get("rows").and_then(Json::as_array).expect("rows");
+        assert_eq!(rows.len(), 1);
+        // Round-trips through the parser.
+        let back = Json::parse(&json.dump()).expect("parses");
+        assert_eq!(back.dump(), json.dump());
     }
 
     #[test]

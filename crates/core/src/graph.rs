@@ -16,17 +16,17 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use serde::{Deserialize, Serialize};
+use kishu_testkit::json::Json;
 
 use crate::covariable::CoVarKey;
 
 /// Identifier of a checkpoint node (the paper's `checkpoint_id`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 /// A versioned co-variable as stored in a node's delta: the member names
 /// plus where (and whether) its bytes were written.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StoredCoVar {
     /// Member variable names (the co-variable's identity).
     pub names: CoVarKey,
@@ -38,7 +38,7 @@ pub struct StoredCoVar {
 }
 
 /// One checkpoint: the result of one cell execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CpNode {
     /// Parent node (`None` only for the root).
     pub parent: Option<NodeId>,
@@ -59,7 +59,7 @@ pub struct CpNode {
 }
 
 /// The tree of checkpoints plus the head pointer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CheckpointGraph {
     nodes: Vec<CpNode>,
     head: NodeId,
@@ -298,7 +298,72 @@ impl CheckpointGraph {
 
     /// Serialized size of the graph metadata in bytes (the Fig 19 metric).
     pub fn metadata_bytes(&self) -> usize {
-        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+        self.to_json().dump().len()
+    }
+
+    /// Serialize to the persisted JSON form. The layout (field names and
+    /// order) is the checkpoint blob format and is pinned by a
+    /// golden-bytes test: changing it breaks `resume()` on existing
+    /// stores, so bump `format_version` and keep a reader for old blobs
+    /// if it ever has to evolve.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("format_version", Json::Int(1)),
+            ("head", Json::Int(self.head.0 as i64)),
+            ("next_timestamp", int_u64(self.next_timestamp)),
+            (
+                "nodes",
+                Json::Array(self.nodes.iter().map(node_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parse a graph from the persisted JSON form, validating structural
+    /// invariants (parents precede children, head in range).
+    pub fn from_json(json: &Json) -> Result<CheckpointGraph, String> {
+        let version = json
+            .get("format_version")
+            .and_then(Json::as_i64)
+            .ok_or("missing format_version")?;
+        if version != 1 {
+            return Err(format!("unsupported graph format_version {version}"));
+        }
+        let head = NodeId(
+            json.get("head")
+                .and_then(Json::as_u64)
+                .ok_or("missing head")? as u32,
+        );
+        let next_timestamp = json
+            .get("next_timestamp")
+            .and_then(Json::as_u64)
+            .ok_or("missing next_timestamp")?;
+        let nodes: Vec<CpNode> = json
+            .get("nodes")
+            .and_then(Json::as_array)
+            .ok_or("missing nodes")?
+            .iter()
+            .map(node_from_json)
+            .collect::<Result<_, _>>()?;
+        if nodes.is_empty() {
+            return Err("graph has no root node".into());
+        }
+        if head.0 as usize >= nodes.len() {
+            return Err(format!("head {} out of range", head.0));
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            match node.parent {
+                None if i != 0 => return Err(format!("non-root node {i} has no parent")),
+                Some(p) if p.0 as usize >= i => {
+                    return Err(format!("node {i} has forward parent {}", p.0))
+                }
+                _ => {}
+            }
+        }
+        Ok(CheckpointGraph {
+            nodes,
+            head,
+            next_timestamp,
+        })
     }
 
     /// Children of a node (computed; the tree stores parent pointers).
@@ -370,6 +435,149 @@ impl LcaIndex {
         }
         self.up[0][a.0 as usize]
     }
+}
+
+// --- JSON encoding helpers for the persisted graph format ---------------
+
+fn int_u64(v: u64) -> Json {
+    // Blob ids and timestamps are sequential counters, far below i64::MAX;
+    // fail loudly rather than silently wrap if that ever changes.
+    Json::Int(i64::try_from(v).expect("counter exceeds i64 range"))
+}
+
+fn key_to_json(key: &CoVarKey) -> Json {
+    Json::Array(key.iter().map(|n| Json::Str(n.clone())).collect())
+}
+
+fn key_from_json(json: &Json) -> Result<CoVarKey, String> {
+    json.as_array()
+        .ok_or("co-variable key is not an array")?
+        .iter()
+        .map(|n| {
+            n.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| "co-variable member is not a string".to_string())
+        })
+        .collect()
+}
+
+fn node_to_json(node: &CpNode) -> Json {
+    Json::obj(vec![
+        (
+            "parent",
+            match node.parent {
+                Some(p) => Json::Int(p.0 as i64),
+                None => Json::Null,
+            },
+        ),
+        ("depth", Json::Int(node.depth as i64)),
+        ("timestamp", int_u64(node.timestamp)),
+        ("cell_code", Json::Str(node.cell_code.clone())),
+        (
+            "delta",
+            Json::Array(
+                node.delta
+                    .iter()
+                    .map(|sc| {
+                        Json::obj(vec![
+                            ("names", key_to_json(&sc.names)),
+                            (
+                                "blob",
+                                match sc.blob {
+                                    Some(b) => int_u64(b),
+                                    None => Json::Null,
+                                },
+                            ),
+                            ("bytes", int_u64(sc.bytes)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "deleted",
+            Json::Array(node.deleted.iter().map(key_to_json).collect()),
+        ),
+        (
+            "deps",
+            Json::Array(
+                node.deps
+                    .iter()
+                    .map(|(k, v)| Json::Array(vec![key_to_json(k), Json::Int(v.0 as i64)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn node_from_json(json: &Json) -> Result<CpNode, String> {
+    let parent = match json.get("parent") {
+        Some(Json::Null) | None => None,
+        Some(p) => Some(NodeId(
+            p.as_u64().ok_or("parent is not an integer")? as u32
+        )),
+    };
+    let delta = json
+        .get("delta")
+        .and_then(Json::as_array)
+        .ok_or("missing delta")?
+        .iter()
+        .map(|sc| {
+            Ok(StoredCoVar {
+                names: key_from_json(sc.get("names").ok_or("missing names")?)?,
+                blob: match sc.get("blob") {
+                    Some(Json::Null) | None => None,
+                    Some(b) => Some(b.as_u64().ok_or("blob is not an integer")?),
+                },
+                bytes: sc
+                    .get("bytes")
+                    .and_then(Json::as_u64)
+                    .ok_or("missing bytes")?,
+            })
+        })
+        .collect::<Result<_, String>>()?;
+    let deleted = json
+        .get("deleted")
+        .and_then(Json::as_array)
+        .ok_or("missing deleted")?
+        .iter()
+        .map(key_from_json)
+        .collect::<Result<_, _>>()?;
+    let deps = json
+        .get("deps")
+        .and_then(Json::as_array)
+        .ok_or("missing deps")?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().ok_or("dep is not a pair")?;
+            if pair.len() != 2 {
+                return Err("dep is not a pair".to_string());
+            }
+            Ok((
+                key_from_json(&pair[0])?,
+                NodeId(pair[1].as_u64().ok_or("dep version is not an integer")? as u32),
+            ))
+        })
+        .collect::<Result<_, String>>()?;
+    Ok(CpNode {
+        parent,
+        depth: json
+            .get("depth")
+            .and_then(Json::as_u64)
+            .ok_or("missing depth")? as u32,
+        timestamp: json
+            .get("timestamp")
+            .and_then(Json::as_u64)
+            .ok_or("missing timestamp")?,
+        cell_code: json
+            .get("cell_code")
+            .and_then(Json::as_str)
+            .ok_or("missing cell_code")?
+            .to_string(),
+        delta,
+        deleted,
+        deps,
+    })
 }
 
 #[cfg(test)]
@@ -532,7 +740,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use kishu_testkit::prelude::*;
 
     #[derive(Debug, Clone)]
     enum GraphOp {
@@ -662,8 +870,9 @@ mod proptests {
         #[test]
         fn metadata_serializes_and_roundtrips(ops in prop::collection::vec(op_strategy(), 1..25)) {
             let g = build(&ops);
-            let bytes = serde_json::to_vec(&g).expect("serializes");
-            let back: CheckpointGraph = serde_json::from_slice(&bytes).expect("deserializes");
+            let text = g.to_json().dump();
+            let back = CheckpointGraph::from_json(&Json::parse(&text).expect("parses"))
+                .expect("deserializes");
             prop_assert_eq!(back.len(), g.len());
             prop_assert_eq!(back.head(), g.head());
             prop_assert_eq!(back.state_at(g.head()), g.state_at(g.head()));
@@ -672,9 +881,108 @@ mod proptests {
 }
 
 #[cfg(test)]
+mod json_format_tests {
+    use super::*;
+    use crate::covariable::key;
+
+    fn sample_graph() -> CheckpointGraph {
+        let mut g = CheckpointGraph::new();
+        let t1 = g.commit(
+            "df = load()\ngmm = init()".into(),
+            vec![
+                StoredCoVar { names: key(&["df"]), blob: Some(0), bytes: 128 },
+                StoredCoVar { names: key(&["gmm"]), blob: None, bytes: 0 },
+            ],
+            vec![],
+            vec![],
+        );
+        g.commit(
+            "gmm.fit(k=3)".into(),
+            vec![StoredCoVar { names: key(&["gmm", "aux"]), blob: Some(1), bytes: 64 }],
+            vec![key(&["gmm"])],
+            vec![(key(&["gmm"]), t1)],
+        );
+        g.set_head(t1);
+        g
+    }
+
+    /// Full-fidelity round trip: every field of every node survives
+    /// graph → testkit-JSON text → parse → graph.
+    #[test]
+    fn json_roundtrip_preserves_every_field() {
+        let g = sample_graph();
+        let text = g.to_json().dump();
+        let back = CheckpointGraph::from_json(&Json::parse(&text).expect("parses"))
+            .expect("deserializes");
+        assert_eq!(back.len(), g.len());
+        assert_eq!(back.head(), g.head());
+        for i in 0..g.len() {
+            let (a, b) = (g.node(NodeId(i as u32)), back.node(NodeId(i as u32)));
+            assert_eq!(a.parent, b.parent);
+            assert_eq!(a.depth, b.depth);
+            assert_eq!(a.timestamp, b.timestamp);
+            assert_eq!(a.cell_code, b.cell_code);
+            assert_eq!(a.deleted, b.deleted);
+            assert_eq!(a.deps, b.deps);
+            assert_eq!(a.delta.len(), b.delta.len());
+            for (sa, sb) in a.delta.iter().zip(&b.delta) {
+                assert_eq!(sa.names, sb.names);
+                assert_eq!(sa.blob, sb.blob);
+                assert_eq!(sa.bytes, sb.bytes);
+            }
+        }
+        // Serialization is deterministic: same graph, same bytes.
+        assert_eq!(text, back.to_json().dump());
+    }
+
+    /// Pins the exact persisted bytes of the checkpoint blob format.
+    /// If this test fails, `Session::resume` can no longer read existing
+    /// checkpoint stores: bump `format_version` and add a legacy reader
+    /// instead of editing the expectation blindly.
+    #[test]
+    fn golden_bytes_pin_the_blob_format() {
+        let golden = concat!(
+            r#"{"format_version":1,"head":1,"next_timestamp":3,"nodes":["#,
+            r#"{"parent":null,"depth":0,"timestamp":0,"cell_code":"","delta":[],"deleted":[],"deps":[]},"#,
+            r#"{"parent":0,"depth":1,"timestamp":1,"cell_code":"df = load()\ngmm = init()","#,
+            r#""delta":[{"names":["df"],"blob":0,"bytes":128},{"names":["gmm"],"blob":null,"bytes":0}],"#,
+            r#""deleted":[],"deps":[]},"#,
+            r#"{"parent":1,"depth":2,"timestamp":2,"cell_code":"gmm.fit(k=3)","#,
+            r#""delta":[{"names":["aux","gmm"],"blob":1,"bytes":64}],"#,
+            r#""deleted":[["gmm"]],"deps":[[["gmm"],1]]}]}"#,
+        );
+        assert_eq!(sample_graph().to_json().dump(), golden);
+        // And the pinned bytes parse back to a working graph.
+        let g = CheckpointGraph::from_json(&Json::parse(golden).expect("parses"))
+            .expect("deserializes");
+        assert_eq!(g.head(), NodeId(1));
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn from_json_rejects_corrupt_graphs() {
+        for (label, text) in [
+            ("bad version", r#"{"format_version":2,"head":0,"next_timestamp":1,"nodes":[]}"#),
+            ("no nodes", r#"{"format_version":1,"head":0,"next_timestamp":1,"nodes":[]}"#),
+            (
+                "head out of range",
+                r#"{"format_version":1,"head":9,"next_timestamp":1,"nodes":[{"parent":null,"depth":0,"timestamp":0,"cell_code":"","delta":[],"deleted":[],"deps":[]}]}"#,
+            ),
+            (
+                "forward parent",
+                r#"{"format_version":1,"head":0,"next_timestamp":1,"nodes":[{"parent":1,"depth":0,"timestamp":0,"cell_code":"","delta":[],"deleted":[],"deps":[]}]}"#,
+            ),
+        ] {
+            let json = Json::parse(text).expect("well-formed JSON");
+            assert!(CheckpointGraph::from_json(&json).is_err(), "{label} should be rejected");
+        }
+    }
+}
+
+#[cfg(test)]
 mod lca_index_tests {
     use super::*;
-    use proptest::prelude::*;
+    use kishu_testkit::prelude::*;
 
     fn random_tree(parents: &[u8]) -> CheckpointGraph {
         let mut g = CheckpointGraph::new();

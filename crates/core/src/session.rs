@@ -248,9 +248,7 @@ impl KishuSession {
         // or the snapshot would point at blobs that never materialize.
         self.flush_pending();
         let mut blob = GRAPH_BLOB_MAGIC.to_vec();
-        let json = serde_json::to_vec(&self.graph)
-            .map_err(|e| KishuError::Storage(std::io::Error::other(e)))?;
-        blob.extend_from_slice(&json);
+        blob.extend_from_slice(self.graph.to_json().dump().as_bytes());
         self.store.put(&blob)?;
         Ok(())
     }
@@ -266,7 +264,10 @@ impl KishuSession {
         for i in (0..store.blob_count()).rev() {
             let blob = store.get(i)?;
             if blob.starts_with(GRAPH_BLOB_MAGIC) {
-                if let Ok(g) = serde_json::from_slice::<CheckpointGraph>(&blob[GRAPH_BLOB_MAGIC.len()..]) {
+                if let Ok(g) = kishu_testkit::json::Json::parse_bytes(&blob[GRAPH_BLOB_MAGIC.len()..])
+                    .map_err(|e| e.to_string())
+                    .and_then(|json| CheckpointGraph::from_json(&json))
+                {
                     graph = Some(g);
                     break;
                 }

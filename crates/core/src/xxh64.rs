@@ -194,7 +194,7 @@ mod tests {
 #[cfg(test)]
 mod f64_equivalence {
     use super::*;
-    use proptest::prelude::*;
+    use kishu_testkit::prelude::*;
 
     proptest! {
         /// The streaming f64 variant must agree exactly with hashing the

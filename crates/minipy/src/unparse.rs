@@ -319,7 +319,7 @@ mod proptests {
     use super::*;
     use crate::ast::*;
     use crate::parse_program;
-    use proptest::prelude::*;
+    use kishu_testkit::prelude::*;
 
     fn name_strategy() -> impl Strategy<Value = String> {
         "[a-z_][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {

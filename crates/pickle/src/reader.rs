@@ -319,7 +319,7 @@ mod proptests {
     use super::*;
     use crate::reduce::NoopReducer;
     use crate::{dumps, loads};
-    use proptest::prelude::*;
+    use kishu_testkit::prelude::*;
 
     /// A recipe for building a random object graph deterministically.
     #[derive(Debug, Clone)]

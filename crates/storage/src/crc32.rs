@@ -64,7 +64,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use kishu_testkit::prelude::*;
 
     proptest! {
         #[test]

@@ -18,7 +18,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::crc32::crc32;
 use crate::{BlobId, CheckpointStore, StoreStats};
@@ -132,7 +132,7 @@ impl CheckpointStore for FileStore {
         record.extend_from_slice(&crc.to_le_bytes());
         record.extend_from_slice(bytes);
         {
-            let mut file = self.file.lock();
+            let mut file = self.file.lock().expect("store lock poisoned");
             file.seek(SeekFrom::Start(self.end_offset))?;
             file.write_all(&record)?;
             if self.sync_on_put {
@@ -153,14 +153,14 @@ impl CheckpointStore for FileStore {
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no blob {id}")))?;
         let mut buf = vec![0u8; len as usize];
         {
-            let mut file = self.file.lock();
+            let mut file = self.file.lock().expect("store lock poisoned");
             file.seek(SeekFrom::Start(off))?;
             file.read_exact(&mut buf)?;
         }
         // Integrity: re-read the stored CRC and verify.
         let mut crc_bytes = [0u8; 4];
         {
-            let mut file = self.file.lock();
+            let mut file = self.file.lock().expect("store lock poisoned");
             file.seek(SeekFrom::Start(off - 4))?;
             file.read_exact(&mut crc_bytes)?;
         }
@@ -186,7 +186,7 @@ impl CheckpointStore for FileStore {
     }
 
     fn sync(&mut self) -> io::Result<()> {
-        self.file.lock().sync_data()
+        self.file.lock().expect("store lock poisoned").sync_data()
     }
 }
 
@@ -300,7 +300,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use kishu_testkit::prelude::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]

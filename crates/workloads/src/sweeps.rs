@@ -1,8 +1,7 @@
 //! Parameter-sweep workloads (§7.7) and the Fig 4 motivating example.
 
 use kishu_minipy::builtins::seeded_values;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use kishu_testkit::rng::Rng;
 
 use crate::{cell, Cell, NotebookSpec};
 
@@ -33,7 +32,7 @@ pub fn shared_ref_workload(array_len: usize, total_arrays: usize, in_list: usize
 /// re-execute its cells until `total_cells` executions have happened
 /// (the paper re-executes HW-LM and Qiskit up to 1000 cells).
 pub fn long_session(base: &NotebookSpec, total_cells: usize, seed: u64) -> Vec<Cell> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut cells: Vec<Cell> = base.cells.clone();
     while cells.len() < total_cells {
         let pick = rng.random_range(0..base.cells.len());

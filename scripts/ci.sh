@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. The build is hermetic: every dependency is an
+# in-tree path crate (kishu-testkit replaces rand/proptest/serde_json/
+# criterion/parking_lot), so everything below runs fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== guard: no external registry dependencies =="
+if grep -nE '^\s*(rand|proptest|criterion|crossbeam|parking_lot|bytes|serde|serde_json)[ .=]' \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "error: external registry dependency declared above" >&2
+    exit 1
+fi
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline --workspace --benches
+
+echo "== cargo test --offline =="
+cargo test -q --offline --workspace
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy =="
+    cargo clippy -q --offline --workspace --benches
+else
+    echo "== cargo clippy unavailable; skipping =="
+fi
+
+echo "CI OK"

@@ -2,7 +2,7 @@
 //! page accounting, and the namespace's access-tracking laws.
 
 use kishu_kernel::{Heap, Namespace, ObjId, ObjKind};
-use proptest::prelude::*;
+use kishu_testkit::prelude::*;
 
 #[derive(Debug, Clone)]
 enum HeapOp {

@@ -8,7 +8,7 @@ use std::collections::BTreeMap;
 use kishu::session::{KishuConfig, KishuSession};
 use kishu::NodeId;
 use kishu_minipy::repr::repr;
-use proptest::prelude::*;
+use kishu_testkit::prelude::*;
 
 const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
 
