@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro all [--scale S] [--json FILE]
-//! repro table2|fig2|fig4|fig12|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19
+//! repro table2|fig2|fig4|fig12|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults
 //! ```
 
 use std::io::Write as _;
@@ -34,7 +34,7 @@ fn parse_args() -> Args {
                 json = Some(args.next().unwrap_or_else(|| die("--json needs a path")));
             }
             "--help" | "-h" => {
-                println!("usage: repro [all|table2|fig2|fig4|fig12|table4|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19]... [--scale S] [--json FILE]");
+                println!("usage: repro [all|table2|fig2|fig4|fig12|table4|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults]... [--scale S] [--json FILE]");
                 std::process::exit(0);
             }
             other => targets.push(other.to_string()),
@@ -77,6 +77,7 @@ fn main() {
     run("fig12", &mut robustness::fig12, &mut tables);
     run("table4", &mut robustness::table4, &mut tables);
     run("table5", &mut robustness::table5, &mut tables);
+    run("faults", &mut || robustness::faults(scale), &mut tables);
     if want("fig13") || want("fig14") {
         eprintln!("[repro] running fig13+fig14 (scale {scale}) ...");
         let start = std::time::Instant::now();

@@ -73,7 +73,7 @@ pub fn fig19(max_cells: usize, scale: f64) -> Table {
             if r.outcome.error.is_some() {
                 errored += 1;
             }
-            nodes.push(r.node);
+            nodes.push(r.node.expect("auto-checkpoint committed"));
         }
         let _ = errored;
         let meta = s.graph().metadata_bytes();
@@ -127,7 +127,7 @@ pub fn fig4(n_rows: usize) -> Table {
             mapping.covars_updated
         ),
     ]);
-    let before_mapping = s.graph().node(mapping.node).parent.expect("has parent");
+    let before_mapping = s.graph().node(mapping.node.expect("committed")).parent.expect("has parent");
     let report = s.checkout(before_mapping).expect("undo");
     t.row(vec![
         "undo cell 4".into(),

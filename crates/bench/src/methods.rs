@@ -170,7 +170,7 @@ impl Driver {
                     "workload cell raised: {:?}",
                     report.outcome.error
                 );
-                nodes.push(report.node);
+                nodes.push(report.node.expect("auto-checkpoint committed"));
                 self.versions += 1;
                 CellCost {
                     cell_time: report.outcome.wall_time,
@@ -183,7 +183,7 @@ impl Driver {
                     .run_cell(&cell.src, cell.deterministic)
                     .expect("workload cells parse");
                 assert!(report.outcome.error.is_none());
-                nodes.push(report.node);
+                nodes.push(report.node.expect("auto-checkpoint committed"));
                 self.versions += 1;
                 CellCost {
                     cell_time: report.outcome.wall_time,

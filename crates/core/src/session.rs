@@ -9,6 +9,7 @@
 //! recursive recomputation (§5.3) when bytes are missing or refuse to load.
 
 use std::collections::BTreeSet;
+use std::io;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -16,7 +17,7 @@ use kishu_kernel::{ObjId, ObjKind};
 use kishu_libsim::{LibReducer, Registry};
 use kishu_minipy::{CellOutcome, Interp, RunError};
 use kishu_pickle::{dumps, loads};
-use kishu_storage::{CheckpointStore, MemoryStore, StoreStats};
+use kishu_storage::{crc32::crc32, CheckpointStore, MemoryStore, StoreStats};
 
 use crate::covariable::CoVarKey;
 use crate::delta::DeltaDetector;
@@ -53,6 +54,12 @@ pub struct KishuConfig {
     /// invoked automatically before the next cell execution or checkout
     /// (the state cannot change in between, so deferral is safe).
     pub defer_serialization: bool,
+    /// How many immediate retries a transient checkpoint-store failure
+    /// (`io::ErrorKind::Interrupted`) gets on `put`/`get` before the session
+    /// degrades: a failed write drops the blob (checkout falls back to
+    /// recomputation), a failed read falls back on the spot. Non-transient
+    /// errors are never retried.
+    pub store_retries: u32,
 }
 
 impl Default for KishuConfig {
@@ -66,6 +73,20 @@ impl Default for KishuConfig {
             rule_based_cells: false,
             hash_primitive_lists: false,
             defer_serialization: false,
+            store_retries: 2,
+        }
+    }
+}
+
+/// Run `op`, retrying up to `retries` extra times while it fails with a
+/// transient (`Interrupted`) error — the kind `FaultStore` injects for
+/// recoverable faults and real kernels return for interrupted syscalls.
+fn retry_io<T>(retries: u32, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut attempt = 0;
+    loop {
+        match op() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted && attempt < retries => attempt += 1,
+            other => return other,
         }
     }
 }
@@ -73,8 +94,9 @@ impl Default for KishuConfig {
 /// Per-cell measurements (drives Tables 6 and Figs 13/14/17).
 #[derive(Debug, Clone)]
 pub struct CellMetrics {
-    /// Checkpoint node created for the cell.
-    pub node: NodeId,
+    /// Checkpoint node created for the cell; `None` when `auto_checkpoint`
+    /// is off and no node was committed.
+    pub node: Option<NodeId>,
     /// Cell execution wall time.
     pub cell_time: Duration,
     /// Delta-detection (tracking) time.
@@ -87,6 +109,11 @@ pub struct CellMetrics {
     pub covars_updated: usize,
     /// Candidate co-variables verified.
     pub candidates_checked: usize,
+    /// Co-variables whose bytes were dropped because serialization or the
+    /// store failed (checkout will fall back to recomputation). Policy
+    /// skips — blocklist, `store_data: false`, pending deferral — do not
+    /// count.
+    pub blobs_dropped: usize,
 }
 
 /// Aggregated session measurements.
@@ -116,13 +143,21 @@ impl SessionMetrics {
     pub fn total_checkpoint_bytes(&self) -> u64 {
         self.cells.iter().map(|c| c.checkpoint_bytes).sum()
     }
+
+    /// Total co-variable blobs dropped at write time across cells (the
+    /// write-side degradation counter).
+    pub fn total_blobs_dropped(&self) -> usize {
+        self.cells.iter().map(|c| c.blobs_dropped).sum()
+    }
 }
 
 /// Result of [`KishuSession::run_cell`].
 #[derive(Debug)]
 pub struct CellReport {
-    /// Checkpoint node committed for this cell.
-    pub node: NodeId,
+    /// Checkpoint node committed for this cell. `None` when
+    /// `auto_checkpoint` is off: the head did not move and the previous
+    /// head must not be mistaken for this cell's checkpoint.
+    pub node: Option<NodeId>,
     /// The interpreter-level outcome (output, value, error, access record).
     pub outcome: CellOutcome,
     /// Updated co-variables (the state delta stored in the checkpoint).
@@ -133,6 +168,10 @@ pub struct CellReport {
     pub checkpoint_time: Duration,
     /// Bytes written.
     pub checkpoint_bytes: u64,
+    /// Co-variables whose bytes were dropped at write time because
+    /// serialization or the store failed (degradation counter; checkout
+    /// restores them by fallback recomputation).
+    pub blobs_dropped: usize,
 }
 
 /// Result of [`KishuSession::checkout`].
@@ -151,8 +190,17 @@ pub struct CheckoutReport {
     pub identical: usize,
     /// Checkpoint bytes read.
     pub bytes_loaded: u64,
-    /// End-to-end checkout wall time.
+    /// End-to-end checkout wall time (includes any think-time flush this
+    /// checkout triggered; that time is *not* double-counted into the
+    /// originating cell's `checkpoint_time`).
     pub wall_time: Duration,
+    /// Stored blobs that failed to read back (I/O error after retries, or
+    /// bytes that refused to deserialize) and were swallowed by falling
+    /// back to recomputation — the read-side degradation counter.
+    pub integrity_failures: usize,
+    /// Deferred think-time co-variables this checkout flushed before
+    /// restoring (their write time is in `wall_time`).
+    pub flushed: usize,
 }
 
 /// A time-traveling notebook session.
@@ -247,9 +295,9 @@ impl KishuSession {
         // Deferred co-variables must hit storage before the graph snapshot,
         // or the snapshot would point at blobs that never materialize.
         self.flush_pending();
-        let mut blob = GRAPH_BLOB_MAGIC.to_vec();
-        blob.extend_from_slice(self.graph.to_json().dump().as_bytes());
-        self.store.put(&blob)?;
+        let mut payload = GRAPH_BLOB_MAGIC.to_vec();
+        payload.extend_from_slice(self.graph.to_json().dump().as_bytes());
+        self.store.put(&seal_blob(&payload))?;
         Ok(())
     }
 
@@ -261,8 +309,23 @@ impl KishuSession {
     /// as time-traveling.
     pub fn resume(store: Box<dyn CheckpointStore>, config: KishuConfig) -> Result<Self, KishuError> {
         let mut graph = None;
+        let mut unreadable = 0u64;
         for i in (0..store.blob_count()).rev() {
-            let blob = store.get(i)?;
+            // An unreadable or corrupt blob must not abort resume: skip it
+            // and keep scanning for an older intact graph snapshot. Only
+            // transient errors are worth retrying first.
+            let blob = match retry_io(config.store_retries, || store.get(i)) {
+                Ok(b) => b,
+                Err(_) => {
+                    unreadable += 1;
+                    continue;
+                }
+            };
+            // A blob failing its end-to-end CRC is as good as unreadable.
+            let Some(blob) = unseal_blob(&blob) else {
+                unreadable += 1;
+                continue;
+            };
             if blob.starts_with(GRAPH_BLOB_MAGIC) {
                 if let Ok(g) = kishu_testkit::json::Json::parse_bytes(&blob[GRAPH_BLOB_MAGIC.len()..])
                     .map_err(|e| e.to_string())
@@ -271,11 +334,17 @@ impl KishuSession {
                     graph = Some(g);
                     break;
                 }
+                // A damaged snapshot that still carries the magic: ignore
+                // it too and fall through to an older one.
             }
         }
         let graph = graph.ok_or_else(|| KishuError::RestoreFailed {
             covariable: Vec::new(),
-            reason: "no persisted checkpoint graph found in the store".into(),
+            reason: format!(
+                "no intact checkpoint graph snapshot in the store \
+                 ({} blob(s) scanned, {unreadable} unreadable)",
+                store.blob_count()
+            ),
         })?;
         let target = graph.head();
         let mut session = Self::new(store, config);
@@ -335,16 +404,33 @@ impl KishuSession {
 
         let cp_start = Instant::now();
         let mut checkpoint_bytes = 0u64;
+        let mut blobs_dropped = 0usize;
+        let mut committed: Option<NodeId> = None;
         let mut deferred: Vec<CoVarKey> = Vec::new();
         let mut stored: Vec<StoredCoVar> = Vec::with_capacity(delta.updated.len());
         if self.config.auto_checkpoint {
             // Resolve dependency versions against the pre-commit head state.
             let head_state = self.graph.state_at(self.graph.head());
-            let deps: Vec<(CoVarKey, NodeId)> = delta
+            let mut deps: Vec<(CoVarKey, NodeId)> = delta
                 .dependencies
                 .iter()
-                .filter_map(|k| head_state.get(k).map(|v| (k.clone(), *v)))
+                .filter_map(|k| {
+                    if let Some(v) = head_state.get(k) {
+                        return Some((k.clone(), *v));
+                    }
+                    // The detector's partition can drift from the graph's
+                    // recorded keys across checkouts (merges/splits). A
+                    // dependency must never be silently dropped — fallback
+                    // recomputation would re-run this cell with the binding
+                    // missing — so resolve it to any head co-variable that
+                    // shares a name.
+                    head_state
+                        .iter()
+                        .find(|(hk, _)| hk.iter().any(|n| k.contains(n)))
+                        .map(|(hk, v)| (hk.clone(), *v))
+                })
                 .collect();
+            deps.dedup();
             for key in &delta.updated {
                 let roots: Vec<ObjId> = key
                     .iter()
@@ -367,7 +453,10 @@ impl KishuSession {
                     match dumps(&self.interp.heap, &roots, &self.reducer) {
                         Ok(bytes) => {
                             let len = bytes.len() as u64;
-                            match self.store.put(&bytes) {
+                            let sealed = seal_blob(&bytes);
+                            let store = &mut self.store;
+                            let retries = self.config.store_retries;
+                            match retry_io(retries, || store.put(&sealed)) {
                                 Ok(id) => {
                                     checkpoint_bytes += len;
                                     StoredCoVar {
@@ -376,20 +465,29 @@ impl KishuSession {
                                         bytes: len,
                                     }
                                 }
-                                Err(_) => StoredCoVar {
-                                    names: key.clone(),
-                                    blob: None,
-                                    bytes: 0,
-                                },
+                                // Store failure even after retries: drop the
+                                // blob, count the degradation, rely on
+                                // fallback recomputation.
+                                Err(_) => {
+                                    blobs_dropped += 1;
+                                    StoredCoVar {
+                                        names: key.clone(),
+                                        blob: None,
+                                        bytes: 0,
+                                    }
+                                }
                             }
                         }
                         // Unserializable co-variable: skip storage, rely on
                         // fallback recomputation (§5.1).
-                        Err(_) => StoredCoVar {
-                            names: key.clone(),
-                            blob: None,
-                            bytes: 0,
-                        },
+                        Err(_) => {
+                            blobs_dropped += 1;
+                            StoredCoVar {
+                                names: key.clone(),
+                                blob: None,
+                                bytes: 0,
+                            }
+                        }
                     }
                 };
                 stored.push(record);
@@ -397,6 +495,7 @@ impl KishuSession {
             let node = self
                 .graph
                 .commit(src.to_string(), stored, delta.deleted.clone(), deps);
+            committed = Some(node);
             for key in deferred {
                 self.pending.push((node, key));
             }
@@ -415,24 +514,25 @@ impl KishuSession {
             }
         }
 
-        let node = self.graph.head();
         self.metrics.cells.push(CellMetrics {
-            node,
+            node: committed,
             cell_time: outcome.wall_time,
             tracking_time: delta.tracking_time,
             checkpoint_time,
             checkpoint_bytes,
             covars_updated: delta.updated.len(),
             candidates_checked: delta.candidates_checked,
+            blobs_dropped,
         });
 
         Ok(CellReport {
-            node,
+            node: committed,
             outcome,
             updated: delta.updated,
             tracking_time: delta.tracking_time,
             checkpoint_time,
             checkpoint_bytes,
+            blobs_dropped,
         })
     }
 
@@ -440,11 +540,33 @@ impl KishuSession {
     /// deferred into think time. Safe to call at any point between cells;
     /// called automatically before the next cell execution and before any
     /// checkout. Returns the number of co-variables flushed.
+    ///
+    /// The elapsed time is attributed to the originating cell's
+    /// `checkpoint_time` — it *is* that cell's checkpoint work, done late.
+    /// (Checkout-triggered flushes instead land in the checkout's
+    /// `wall_time`; see [`Self::checkout`].)
     pub fn flush_pending(&mut self) -> usize {
         if self.pending.is_empty() {
             return 0;
         }
         let start = Instant::now();
+        let flushed = self.flush_pending_inner();
+        if let Some(last) = self.metrics.cells.last_mut() {
+            last.checkpoint_time += start.elapsed();
+            // Note: flush bytes are reflected in store_stats(), not in the
+            // originating cell's checkpoint_bytes (which measured the
+            // user-visible latency).
+        }
+        flushed
+    }
+
+    /// The flush itself, with no time attribution — callers decide where
+    /// the wall time belongs. Write failures drop the blob and count into
+    /// the owning cell's `blobs_dropped` degradation counter.
+    fn flush_pending_inner(&mut self) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
         let pending = std::mem::take(&mut self.pending);
         let mut flushed = 0;
         for (node, key) in pending {
@@ -456,18 +578,33 @@ impl KishuSession {
                 continue; // vanished between cells (checkout raced): falls
                           // back to recomputation like any missing blob
             }
-            if let Ok(bytes) = dumps(&self.interp.heap, &roots, &self.reducer) {
-                if let Ok(id) = self.store.put(&bytes) {
-                    self.graph.set_stored(node, &key, id, bytes.len() as u64);
-                    flushed += 1;
+            let dropped = match dumps(&self.interp.heap, &roots, &self.reducer) {
+                Ok(bytes) => {
+                    let sealed = seal_blob(&bytes);
+                    let store = &mut self.store;
+                    let retries = self.config.store_retries;
+                    match retry_io(retries, || store.put(&sealed)) {
+                        Ok(id) => {
+                            self.graph.set_stored(node, &key, id, bytes.len() as u64);
+                            flushed += 1;
+                            false
+                        }
+                        Err(_) => true,
+                    }
+                }
+                Err(_) => true,
+            };
+            if dropped {
+                if let Some(m) = self
+                    .metrics
+                    .cells
+                    .iter_mut()
+                    .rev()
+                    .find(|m| m.node == Some(node))
+                {
+                    m.blobs_dropped += 1;
                 }
             }
-        }
-        if let Some(last) = self.metrics.cells.last_mut() {
-            last.checkpoint_time += start.elapsed();
-            // Note: flush bytes are reflected in store_stats(), not in the
-            // originating cell's checkpoint_bytes (which measured the
-            // user-visible latency).
         }
         flushed
     }
@@ -508,7 +645,10 @@ impl KishuSession {
     /// fallback recomputation (§5.3).
     pub fn checkout(&mut self, target: NodeId) -> Result<CheckoutReport, KishuError> {
         let start = Instant::now();
-        self.flush_pending();
+        // A checkout-triggered think-time flush belongs to this checkout's
+        // wall time, not to the originating cell's checkpoint_time — the
+        // inner flush skips the per-cell attribution.
+        let flushed = self.flush_pending_inner();
         if !self.graph.contains(target) {
             return Err(KishuError::UnknownNode(target));
         }
@@ -562,6 +702,8 @@ impl KishuSession {
             identical: plan.identical.len(),
             bytes_loaded,
             wall_time: start.elapsed(),
+            integrity_failures: ctx.integrity_failures,
+            flushed,
         })
     }
 
@@ -608,16 +750,30 @@ impl KishuSession {
         let stored = self.graph.stored(key, version).cloned();
         if let Some(sc) = &stored {
             if let Some(blob) = sc.blob {
-                if let Ok(bytes) = self.store.get(blob) {
-                    match loads(&mut self.interp.heap, &bytes, &self.reducer) {
-                        Ok(roots) if roots.len() == key.len() => {
-                            let bindings = key.iter().cloned().zip(roots).collect();
-                            return Ok((bindings, Materialized::Loaded(bytes.len() as u64)));
-                        }
-                        // Deserialization failure: fall through to
-                        // recomputation.
-                        _ => {}
-                    }
+                let got = {
+                    let store = &self.store;
+                    retry_io(self.config.store_retries, || store.get(blob))
+                };
+                match got {
+                    // The end-to-end CRC comes first: damaged bytes must
+                    // never reach the deserializer, where a lucky flip could
+                    // still parse into wrong state.
+                    Ok(blob) => match unseal_blob(&blob) {
+                        Some(bytes) => match loads(&mut self.interp.heap, bytes, &self.reducer) {
+                            Ok(roots) if roots.len() == key.len() => {
+                                let bindings = key.iter().cloned().zip(roots).collect();
+                                return Ok((bindings, Materialized::Loaded(bytes.len() as u64)));
+                            }
+                            // Deserialization failure (CRC-clean but
+                            // incompatible bytes): count it and fall
+                            // through to recomputation.
+                            _ => ctx.integrity_failures += 1,
+                        },
+                        // Failed the CRC: corrupt.
+                        None => ctx.integrity_failures += 1,
+                    },
+                    // Unreadable even after retries: count and fall back.
+                    Err(_) => ctx.integrity_failures += 1,
                 }
             }
         }
@@ -652,15 +808,43 @@ impl KishuSession {
             .run_cell_in_temp_namespace(&node.cell_code, bindings)
             .map_err(KishuError::Recompute)?;
         let mut out = Vec::with_capacity(key.len());
+        let mut missing: Vec<String> = Vec::new();
         for name in key {
             match result.iter().find(|(n, _)| n == name) {
                 Some((n, o)) => out.push((n.clone(), *o)),
-                None => {
-                    return Err(KishuError::RestoreFailed {
-                        covariable: key.iter().cloned().collect(),
-                        reason: format!("re-running the cell did not produce `{name}`"),
-                    })
+                None => missing.push(name.clone()),
+            }
+        }
+        if !missing.is_empty() {
+            // The cell re-ran cleanly yet never bound these names. The only
+            // way a co-variable gets an update recorded at a cell that does
+            // not produce it is address-only drift — a read re-verified the
+            // object after a recomputed checkout rebuilt it at a new
+            // address — so its *value* is that of the previous version:
+            // materialize that instead of failing the restore.
+            if let Some(parent) = self.graph.node(version).parent {
+                let parent_state = self.graph.state_at(parent);
+                let prev = match parent_state.get(key) {
+                    Some(v) => Some((key.clone(), *v)),
+                    None => parent_state
+                        .iter()
+                        .find(|(k2, _)| k2.iter().any(|n| missing.contains(n)))
+                        .map(|(k2, v)| (k2.clone(), *v)),
+                };
+                if let Some((pkey, pversion)) = prev {
+                    let (bindings, _) = self.materialize(&pkey, pversion, ctx, depth + 1)?;
+                    for name in &missing {
+                        if let Some((n, o)) = bindings.iter().find(|(n, _)| n == name) {
+                            out.push((n.clone(), *o));
+                        }
+                    }
                 }
+            }
+            if let Some(name) = key.iter().find(|n| !out.iter().any(|(m, _)| &m == n)) {
+                return Err(KishuError::RestoreFailed {
+                    covariable: key.iter().cloned().collect(),
+                    reason: format!("re-running the cell did not produce `{name}`"),
+                });
             }
         }
         Ok(out)
@@ -674,17 +858,44 @@ const MAX_FALLBACK_DEPTH: usize = 512;
 /// Tag prefix of persisted Checkpoint Graph blobs in the store.
 const GRAPH_BLOB_MAGIC: &[u8; 4] = b"KGRF";
 
+/// Frame a session blob as `crc32(payload) (4 bytes LE) || payload`.
+///
+/// Storage backends may checksum their own records (FileStore does), but
+/// the session cannot rely on it: the store interface is pluggable, and
+/// corruption can also happen after the backend's check (in transit, in a
+/// cache, in a buggy decorator). The end-to-end CRC means a damaged blob is
+/// always detected at read time and routed to fallback recomputation
+/// instead of silently deserializing into wrong state.
+fn seal_blob(payload: &[u8]) -> Vec<u8> {
+    let mut blob = Vec::with_capacity(4 + payload.len());
+    blob.extend_from_slice(&crc32(payload).to_le_bytes());
+    blob.extend_from_slice(payload);
+    blob
+}
+
+/// Verify and strip [`seal_blob`]'s framing; `None` if the blob is damaged.
+fn unseal_blob(blob: &[u8]) -> Option<&[u8]> {
+    if blob.len() < 4 {
+        return None;
+    }
+    let crc = u32::from_le_bytes([blob[0], blob[1], blob[2], blob[3]]);
+    let payload = &blob[4..];
+    (crc32(payload) == crc).then_some(payload)
+}
+
 enum Materialized {
     Loaded(u64),
     Recomputed,
 }
 
-/// Per-checkout restoration state: memoized materializations plus the
-/// current recursion path for real-cycle detection.
+/// Per-checkout restoration state: memoized materializations, the current
+/// recursion path for real-cycle detection, and the count of store reads
+/// that failed and were swallowed by falling back to recomputation.
 #[derive(Default)]
 struct RestoreCtx {
     memo: std::collections::BTreeMap<(Vec<String>, NodeId), Vec<(String, ObjId)>>,
     in_progress: BTreeSet<(Vec<String>, NodeId)>,
+    integrity_failures: usize,
 }
 
 #[cfg(test)]
@@ -798,7 +1009,7 @@ mod tests {
         run(&mut s, "seed = 5\n");
         let report = run(&mut s, "lazy = lib_obj('pl.LazyFrame', 64, 5)\nmarker = 123\n");
         // The co-variable containing the unserializable object was skipped.
-        let node = report.node;
+        let node = report.node.expect("auto-checkpoint committed");
         let sc = s
             .graph()
             .node(node)
@@ -851,7 +1062,7 @@ mod tests {
         config.blocklist.insert("wordcloud.WordCloud".to_string());
         let mut s = KishuSession::in_memory(config);
         let report = run(&mut s, "wc = lib_obj('wordcloud.WordCloud', 32, 2)\n");
-        let sc = &s.graph().node(report.node).delta[0];
+        let sc = &s.graph().node(report.node.expect("committed")).delta[0];
         assert!(sc.blob.is_none(), "blocklisted class is never stored");
     }
 
@@ -903,6 +1114,147 @@ mod tests {
         assert!(m.total_checkpoint_bytes() > 0);
         assert!(s.store_stats().blobs >= 2);
         assert_eq!(s.log().len(), 3); // root + 2 cells
+    }
+
+    #[test]
+    fn no_auto_checkpoint_reports_no_node() {
+        // Regression: with auto_checkpoint off, run_cell used to report the
+        // *previous* head as the cell's node.
+        let config = KishuConfig {
+            auto_checkpoint: false,
+            ..KishuConfig::default()
+        };
+        let mut s = KishuSession::new(Box::new(MemoryStore::new()), config);
+        let report = run(&mut s, "x = 1\n");
+        assert_eq!(report.node, None, "no commit happened");
+        assert_eq!(s.metrics().cells[0].node, None);
+        assert_eq!(s.head(), s.graph().root(), "head never moved");
+    }
+
+    #[test]
+    fn transient_store_faults_are_retried_transparently() {
+        use kishu_storage::{FaultKind, FaultOp, FaultPlan, FaultStore};
+        // Every put hits one transient fault first; with retries the
+        // session never degrades.
+        let mut plan = FaultPlan::none();
+        for i in 0..64 {
+            plan = plan.schedule(FaultOp::Put, i * 2, FaultKind::Transient);
+        }
+        let store = FaultStore::new(Box::new(MemoryStore::new()), plan, 5);
+        let mut s = KishuSession::new(Box::new(store), KishuConfig::default());
+        let report = run(&mut s, "xs = [1, 2, 3]\n");
+        assert_eq!(report.blobs_dropped, 0, "retry absorbed the transient fault");
+        assert!(report.checkpoint_bytes > 0);
+    }
+
+    #[test]
+    fn permanent_put_fault_counts_dropped_blob_and_checkout_recomputes() {
+        use kishu_storage::{FaultKind, FaultOp, FaultPlan, FaultStore};
+        let plan = FaultPlan::none().schedule(FaultOp::Put, 1, FaultKind::Permanent);
+        let store = FaultStore::new(Box::new(MemoryStore::new()), plan, 5);
+        let mut s = KishuSession::new(Box::new(store), KishuConfig::default());
+        run(&mut s, "xs = [1, 2]\n");
+        let target = s.head();
+        // Put #1 fails permanently: this cell's blob (and all later ones)
+        // are dropped but the session keeps working.
+        let report = run(&mut s, "ys = [3]\n");
+        assert_eq!(report.blobs_dropped, 1, "write-side degradation is counted");
+        assert_eq!(s.metrics().total_blobs_dropped(), 1);
+        let co = s.checkout(target).expect("checkout degrades, not fails");
+        assert!(co.integrity_failures == 0, "nothing stored, nothing corrupt");
+        assert_eq!(value(&mut s, "len(xs)"), "2");
+    }
+
+    #[test]
+    fn corrupt_blob_read_falls_back_and_is_counted() {
+        use kishu_storage::{FaultKind, FaultOp, FaultPlan, FaultStore};
+        // Flip a bit in every read of blob 0's first fetch: the deserialize
+        // fails, checkout falls back to recomputation, and the degradation
+        // is visible in the report.
+        let plan = FaultPlan::none().schedule(FaultOp::Get, 0, FaultKind::BitFlip);
+        let store = FaultStore::new(Box::new(MemoryStore::new()), plan, 5);
+        let mut s = KishuSession::new(Box::new(store), KishuConfig::default());
+        run(&mut s, "xs = [1, 2]\n");
+        let target = s.head();
+        run(&mut s, "del xs\n");
+        let report = s.checkout(target).expect("degrades to recomputation");
+        assert_eq!(report.integrity_failures, 1, "swallowed read failure is counted");
+        assert!(report.recomputed.contains(&key(&["xs"])));
+        assert_eq!(value(&mut s, "len(xs)"), "2");
+    }
+
+    #[test]
+    fn resume_skips_corrupt_blobs_and_uses_an_older_snapshot() {
+        use kishu_storage::{FaultKind, FaultOp, FaultPlan, FaultStore};
+        let mut s = session();
+        run(&mut s, "a = [1]\n");
+        s.persist().expect("persist 1");
+        run(&mut s, "b = [2, 3]\n");
+        s.persist().expect("persist 2");
+        // Move the blobs into a fresh store whose *latest* blob (the newest
+        // KGRF snapshot) is permanently unreadable.
+        let mut inner = MemoryStore::new();
+        let n = s.store_stats().blobs;
+        for i in 0..n {
+            // Rebuild the store contents; the last blob is the newest
+            // snapshot, which the fault plan below makes unreadable.
+            inner.put(&s_store_get(&s, i)).expect("copy");
+        }
+        let plan = FaultPlan::none().schedule(FaultOp::Get, 0, FaultKind::Permanent);
+        let store = FaultStore::new(Box::new(inner), plan, 5);
+        let resumed = KishuSession::resume(Box::new(store), KishuConfig::default())
+            .expect("resume survives a corrupt newest snapshot");
+        // The older snapshot knows `a` but not `b`.
+        assert!(resumed.interp.globals.contains("a"));
+        assert!(!resumed.interp.globals.contains("b"));
+    }
+
+    #[test]
+    fn resume_fails_only_when_no_intact_snapshot_exists() {
+        use kishu_storage::{FaultKind, FaultOp, FaultPlan, FaultStore};
+        let mut s = session();
+        run(&mut s, "a = 1\n");
+        s.persist().expect("persist");
+        let mut inner = MemoryStore::new();
+        let n = s.store_stats().blobs;
+        for i in 0..n {
+            inner.put(&s_store_get(&s, i)).expect("copy");
+        }
+        // Every blob permanently unreadable: resume must error, not panic.
+        let mut plan = FaultPlan::none();
+        for i in 0..n {
+            plan = plan.schedule(FaultOp::Get, i, FaultKind::Permanent);
+        }
+        let store = FaultStore::new(Box::new(inner), plan, 5);
+        let err = KishuSession::resume(Box::new(store), KishuConfig::default())
+            .err()
+            .expect("no intact snapshot anywhere");
+        assert!(err.to_string().contains("no intact checkpoint graph"), "{err}");
+    }
+
+    /// Read a blob back out of a live session's store (test helper).
+    fn s_store_get(s: &KishuSession, i: u64) -> Vec<u8> {
+        s.store.get(i).expect("source blob readable")
+    }
+
+    #[test]
+    fn checkout_triggered_flush_is_attributed_to_the_checkout() {
+        let mut config = KishuConfig::default();
+        config.defer_serialization = true;
+        let mut s = KishuSession::in_memory(config);
+        run(&mut s, "xs = [1, 2, 3]\n");
+        let t1 = s.head();
+        run(&mut s, "xs.append(4)\n");
+        assert!(s.pending_count() > 0, "serialization was deferred");
+        let cell_cp_before: Duration = s.metrics().cells.iter().map(|c| c.checkpoint_time).sum();
+        let report = s.checkout(t1).expect("checkout flushes then restores");
+        assert!(report.flushed > 0, "the checkout performed the flush");
+        let cell_cp_after: Duration = s.metrics().cells.iter().map(|c| c.checkpoint_time).sum();
+        assert_eq!(
+            cell_cp_before, cell_cp_after,
+            "flush time lands in the checkout's wall_time, not the cells' checkpoint_time"
+        );
+        assert_eq!(value(&mut s, "len(xs)"), "3");
     }
 
     #[test]

@@ -283,10 +283,12 @@ impl Interp {
         self.globals = temp;
         let result = self.run_cell(src);
         let temp = std::mem::replace(&mut self.globals, saved);
-        let outcome = result?;
-        if let Some(e) = outcome.error {
-            return Err(e);
-        }
+        let _outcome = result?;
+        // A runtime error mid-cell is NOT a replay failure: the original
+        // execution checkpointed its partial mutations (an errored cell
+        // still commits — its effects are real and undoable), so a faithful
+        // replay raises the same error at the same point and hands back
+        // whatever it did bind.
         Ok(temp
             .bindings()
             .map(|(n, o)| (n.to_string(), o))

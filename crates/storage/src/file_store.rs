@@ -151,20 +151,18 @@ impl CheckpointStore for FileStore {
             .index
             .get(id as usize)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no blob {id}")))?;
-        let mut buf = vec![0u8; len as usize];
-        {
-            let mut file = self.file.lock().expect("store lock poisoned");
-            file.seek(SeekFrom::Start(off))?;
-            file.read_exact(&mut buf)?;
-        }
-        // Integrity: re-read the stored CRC and verify.
-        let mut crc_bytes = [0u8; 4];
+        // One locked seek+read covering the stored CRC and the payload, so
+        // the integrity check and the bytes it checks come from the same
+        // observation of the file.
+        let mut buf = vec![0u8; 4 + len as usize];
         {
             let mut file = self.file.lock().expect("store lock poisoned");
             file.seek(SeekFrom::Start(off - 4))?;
-            file.read_exact(&mut crc_bytes)?;
+            file.read_exact(&mut buf)?;
         }
-        if crc32(&buf) != u32::from_le_bytes(crc_bytes) {
+        let crc = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        buf.drain(..4);
+        if crc32(&buf) != crc {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("blob {id} failed its integrity check"),

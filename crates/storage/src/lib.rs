@@ -12,12 +12,19 @@
 //!   algorithmic costs in benchmarks;
 //! * [`FileStore`] — a durable append-only log with length-prefixed,
 //!   CRC-checked records and crash recovery on open (a torn tail write is
-//!   detected and truncated away, records before it stay readable).
+//!   detected and truncated away, records before it stay readable);
+//! * [`FaultStore`] — a deterministic fault-injecting decorator over any
+//!   store (transient/permanent errors, bit-flips, short writes, fsync
+//!   lies), for testing graceful degradation in the layers above.
 
 pub mod crc32;
+pub mod fault_store;
 pub mod file_store;
 pub mod memory_store;
 
+pub use fault_store::{
+    FaultKind, FaultLedger, FaultLedgerHandle, FaultOp, FaultPlan, FaultStore, InjectedFault,
+};
 pub use file_store::FileStore;
 pub use memory_store::MemoryStore;
 
@@ -59,6 +66,38 @@ pub trait CheckpointStore {
 
     /// Flush buffered writes to the durable medium (no-op for memory).
     fn sync(&mut self) -> io::Result<()>;
+
+    /// Best-effort integrity sweep: attempt `get` on every blob and report
+    /// which ids are currently unreadable (I/O error or failed integrity
+    /// check). The default implementation scans; backends with cheaper
+    /// integrity metadata may override it.
+    fn integrity_sweep(&self) -> IntegrityReport {
+        let mut readable = 0u64;
+        let mut unreadable = Vec::new();
+        for id in 0..self.blob_count() {
+            match self.get(id) {
+                Ok(_) => readable += 1,
+                Err(_) => unreadable.push(id),
+            }
+        }
+        IntegrityReport { readable, unreadable }
+    }
+}
+
+/// Result of [`CheckpointStore::integrity_sweep`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// Blobs that read back successfully.
+    pub readable: u64,
+    /// Ids of blobs that failed to read.
+    pub unreadable: Vec<BlobId>,
+}
+
+impl IntegrityReport {
+    /// Whether every blob read back successfully.
+    pub fn is_clean(&self) -> bool {
+        self.unreadable.is_empty()
+    }
 }
 
 #[cfg(test)]

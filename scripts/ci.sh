@@ -18,6 +18,20 @@ cargo build --release --offline --workspace --benches
 echo "== cargo test --offline =="
 cargo test -q --offline --workspace
 
+# The fault suites also run inside the workspace pass with their built-in
+# seeds; this extra pass pins a second, independent seed so determinism
+# regressions (same seed, different faults) and seed-specific breakage
+# both surface.
+FAULT_SEED="${FAULT_SEED:-20250807}"
+echo "== fault injection & crash recovery (KISHU_TESTKIT_SEED=$FAULT_SEED) =="
+if ! { KISHU_TESTKIT_SEED="$FAULT_SEED" \
+        cargo test -q --offline -p kishu-repro --test crash_recovery \
+    && KISHU_TESTKIT_SEED="$FAULT_SEED" \
+        cargo test -q --offline -p kishu-bench --lib fault_sweep; }; then
+    echo "error: fault suite failed; replay with KISHU_TESTKIT_SEED=$FAULT_SEED" >&2
+    exit 1
+fi
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "== cargo clippy =="
     cargo clippy -q --offline --workspace --benches

@@ -53,16 +53,24 @@ impl Repl {
         match self.session.run_cell(&src) {
             Err(e) => out.push(format!("syntax error: {e}")),
             Ok(report) => {
+                // The REPL always runs with auto-checkpoint on, so every
+                // cell commits a node.
+                let node = report.node.expect("repl sessions auto-checkpoint");
                 out.extend(report.outcome.output.iter().cloned());
                 if let Some(v) = &report.outcome.value_repr {
-                    out.push(format!("Out[{}]: {v}", report.node.0));
+                    out.push(format!("Out[{}]: {v}", node.0));
                 }
                 if let Some(e) = &report.outcome.error {
                     out.push(format!("error: {e}"));
                 }
+                let degraded = if report.blobs_dropped > 0 {
+                    format!(", {} blob(s) dropped -> fallback", report.blobs_dropped)
+                } else {
+                    String::new()
+                };
                 out.push(format!(
-                    "[kishu] checkpoint {} ({} co-variable(s), {} B, {:?} tracking)",
-                    report.node.0,
+                    "[kishu] checkpoint {} ({} co-variable(s), {} B, {:?} tracking{degraded})",
+                    node.0,
                     report.updated.len(),
                     report.checkpoint_bytes,
                     report.tracking_time,

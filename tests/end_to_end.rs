@@ -46,7 +46,7 @@ fn undo_restores_exact_values_on_every_notebook() {
             let r = s.run_cell(&c.src).expect("parses");
             assert!(r.outcome.error.is_none(), "{}: {:?}", nb.name, r.outcome.error);
             if i == mid {
-                mid_node = Some(r.node);
+                mid_node = r.node;
                 mid_vars = s.interp.globals.names();
             }
         }

@@ -122,7 +122,7 @@ proptest! {
                 report.outcome.error,
                 op
             );
-            checkpoints.push((report.node, snapshot(&s)));
+            checkpoints.push((report.node.expect("auto-checkpoint committed"), snapshot(&s)));
         }
 
         // Visit the recorded states in a scrambled order and verify each
@@ -203,7 +203,7 @@ proptest! {
                     op.apply_binding(&mut bound);
                     let report = s.run_cell(&op.to_source()).expect("parses");
                     prop_assert!(report.outcome.error.is_none(), "{:?}", op);
-                    checkpoints.push((report.node, snapshot(&s)));
+                    checkpoints.push((report.node.expect("auto-checkpoint committed"), snapshot(&s)));
                 }
                 SessionOp::Checkout(pick) => {
                     if checkpoints.is_empty() {
