@@ -13,7 +13,7 @@
 //! fail when the state holds off-process objects (Spark/Ray/GPU — Table 4),
 //! and both must kill and replace the kernel process to restore.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use kishu_kernel::{ObjId, ObjKind, PAGE_SIZE};
@@ -48,7 +48,7 @@ fn bindings_of(interp: &Interp) -> Vec<(String, ObjId)> {
 
 /// Build a fresh kernel process from a decoded image chain.
 fn revive(
-    registry: &Rc<Registry>,
+    registry: &Arc<Registry>,
     blobs: &[Vec<u8>],
 ) -> Result<Interp, MethodError> {
     // An OS-level restore cannot reuse the live kernel: the process is
@@ -67,13 +67,13 @@ fn revive(
 /// Full OS-level snapshots.
 pub struct CriuFull {
     store: Box<dyn CheckpointStore>,
-    registry: Rc<Registry>,
+    registry: Arc<Registry>,
     versions: Vec<BlobId>,
 }
 
 impl CriuFull {
     /// New snapshotter writing into `store`.
-    pub fn new(store: Box<dyn CheckpointStore>, registry: Rc<Registry>) -> Self {
+    pub fn new(store: Box<dyn CheckpointStore>, registry: Arc<Registry>) -> Self {
         CriuFull {
             store,
             registry,
@@ -141,13 +141,13 @@ impl CriuFull {
 /// Incremental (dirty-page) OS-level snapshots.
 pub struct CriuIncremental {
     store: Box<dyn CheckpointStore>,
-    registry: Rc<Registry>,
+    registry: Arc<Registry>,
     versions: Vec<BlobId>,
 }
 
 impl CriuIncremental {
     /// New snapshotter writing into `store`.
-    pub fn new(store: Box<dyn CheckpointStore>, registry: Rc<Registry>) -> Self {
+    pub fn new(store: Box<dyn CheckpointStore>, registry: Arc<Registry>) -> Self {
         CriuIncremental {
             store,
             registry,
@@ -228,9 +228,9 @@ mod tests {
     use super::*;
     use kishu_storage::MemoryStore;
 
-    fn kernel() -> (Interp, Rc<Registry>) {
+    fn kernel() -> (Interp, Arc<Registry>) {
         let mut interp = Interp::new();
-        let registry = Rc::new(Registry::standard());
+        let registry = Arc::new(Registry::standard());
         kishu_libsim::install(&mut interp, registry.clone());
         (interp, registry)
     }

@@ -5,7 +5,7 @@
 //! always a complete, never an incremental, restore. Fails outright on
 //! states containing unserializable classes (Fig 12 / Table 4).
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use kishu_kernel::ObjId;
@@ -19,14 +19,14 @@ use crate::{CkptStats, MethodError, RestoreStats};
 /// The DumpSession baseline.
 pub struct DumpSession {
     store: Box<dyn CheckpointStore>,
-    registry: Rc<Registry>,
+    registry: Arc<Registry>,
     reducer: LibReducer,
     versions: Vec<(BlobId, Vec<String>)>,
 }
 
 impl DumpSession {
     /// New dumper writing into `store`.
-    pub fn new(store: Box<dyn CheckpointStore>, registry: Rc<Registry>) -> Self {
+    pub fn new(store: Box<dyn CheckpointStore>, registry: Arc<Registry>) -> Self {
         DumpSession {
             store,
             reducer: LibReducer::new(registry.clone()),
@@ -102,9 +102,9 @@ mod tests {
     use super::*;
     use kishu_storage::MemoryStore;
 
-    fn kernel() -> (Interp, Rc<Registry>) {
+    fn kernel() -> (Interp, Arc<Registry>) {
         let mut interp = Interp::new();
-        let registry = Rc::new(Registry::standard());
+        let registry = Arc::new(Registry::standard());
         kishu_libsim::install(&mut interp, registry.clone());
         (interp, registry)
     }

@@ -13,7 +13,7 @@
 //!   stored variables and replays the recompute-planned cells.
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use kishu_kernel::ObjId;
@@ -45,7 +45,7 @@ struct CellLineage {
 /// The ElasticNotebook baseline.
 pub struct ElasticNotebook {
     store: Box<dyn CheckpointStore>,
-    registry: Rc<Registry>,
+    registry: Arc<Registry>,
     reducer: LibReducer,
     cells: Vec<String>,
     /// Which cell (index) last (re)bound each variable — the replay source
@@ -62,7 +62,7 @@ pub struct ElasticNotebook {
 
 impl ElasticNotebook {
     /// New replicator writing into `store`.
-    pub fn new(store: Box<dyn CheckpointStore>, registry: Rc<Registry>) -> Self {
+    pub fn new(store: Box<dyn CheckpointStore>, registry: Arc<Registry>) -> Self {
         ElasticNotebook {
             store,
             reducer: LibReducer::new(registry.clone()),
@@ -273,9 +273,9 @@ mod tests {
     use super::*;
     use kishu_storage::MemoryStore;
 
-    fn kernel() -> (Interp, Rc<Registry>) {
+    fn kernel() -> (Interp, Arc<Registry>) {
         let mut interp = Interp::new();
-        let registry = Rc::new(Registry::standard());
+        let registry = Arc::new(Registry::standard());
         kishu_libsim::install(&mut interp, registry.clone());
         (interp, registry)
     }

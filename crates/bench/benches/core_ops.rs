@@ -7,7 +7,7 @@
 //! false`): `cargo bench --bench core_ops [-- <filter>]`, or
 //! `KISHU_BENCH_QUICK=1` for a smoke run.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use kishu::delta::DeltaDetector;
 use kishu::graph::{CheckpointGraph, StoredCoVar};
@@ -21,7 +21,7 @@ use kishu_testkit::bench::{black_box, Bench};
 
 fn prepared_interp(src: &str) -> Interp {
     let mut i = Interp::new();
-    kishu_libsim::install(&mut i, Rc::new(Registry::standard()));
+    kishu_libsim::install(&mut i, Arc::new(Registry::standard()));
     let out = i.run_cell(src).expect("parses");
     assert!(out.error.is_none(), "{:?}", out.error);
     i
@@ -36,7 +36,7 @@ fn bench_vargraph(b: &mut Bench) {
             let root = i.globals.peek("arr").expect("bound");
             for (label, hash) in [("hash", true), ("full", false)] {
                 let config = VarGraphConfig {
-                    registry: Rc::new(Registry::standard()),
+                    registry: Arc::new(Registry::standard()),
                     hash_arrays: hash,
                     hash_primitive_lists: false,
                 };
@@ -52,7 +52,7 @@ fn bench_vargraph(b: &mut Bench) {
         );
         let root = i.globals.peek("ls").expect("bound");
         let config = VarGraphConfig {
-            registry: Rc::new(Registry::standard()),
+            registry: Arc::new(Registry::standard()),
             hash_arrays: true,
             hash_primitive_lists: false,
         };
@@ -75,7 +75,7 @@ fn bench_delta_detection(b: &mut Bench) {
             setup.push_str("small = [1, 2, 3]\n");
             for (label, check_all) in [("kishu", false), ("check_all", true)] {
                 let mut i = prepared_interp(&setup);
-                let registry = Rc::new(Registry::standard());
+                let registry = Arc::new(Registry::standard());
                 let mut det = DeltaDetector::new(registry, true, check_all);
                 // Prime the caches. The benched mutation pokes in place
                 // (no growth), so per-iteration cost stays stationary.
@@ -150,7 +150,7 @@ fn bench_extensions(b: &mut Bench) {
         );
         let root = i.globals.peek("ls").expect("bound");
         for (label, hash_lists) in [("list_nodes", false), ("list_digest", true)] {
-            let mut config = VarGraphConfig::new(Rc::new(Registry::standard()));
+            let mut config = VarGraphConfig::new(Arc::new(Registry::standard()));
             config.hash_primitive_lists = hash_lists;
             let mut nonce = 0;
             g.bench(&format!("vargraph_{label}_2000"), || {

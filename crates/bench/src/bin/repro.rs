@@ -2,25 +2,39 @@
 //!
 //! ```text
 //! repro all [--scale S] [--json FILE]
-//! repro table2|fig2|fig4|fig12|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults
+//! repro table2|fig2|fig4|fig12|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline
+//! repro bench [--scale S] [--out FILE]        # bench-gate metrics JSON
+//! repro bench-compare BASELINE PR [--tolerance T]
 //! ```
+//!
+//! Outputs land under `target/` by default (`target/repro_output.txt`,
+//! `target/repro_results.json`, `target/BENCH_pr.json`) so a repro run
+//! never litters the source tree; `--json` / `--out` override the paths.
 
 use std::io::Write as _;
 
-use kishu_bench::experiments::{checkout, checkpoint, robustness, sweeps, tracking, workload_tables};
+use kishu_bench::experiments::{
+    checkout, checkpoint, pipeline, robustness, sweeps, tracking, workload_tables,
+};
 use kishu_bench::report::Table;
 use kishu_testkit::json::Json;
 
 struct Args {
     targets: Vec<String>,
     scale: f64,
+    scale_set: bool,
     json: Option<String>,
+    out: Option<String>,
+    tolerance: f64,
 }
 
 fn parse_args() -> Args {
     let mut targets = Vec::new();
     let mut scale = 0.3;
+    let mut scale_set = false;
     let mut json = None;
+    let mut out = None;
+    let mut tolerance = 0.25;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -29,12 +43,26 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--scale needs a number"));
+                scale_set = true;
             }
             "--json" => {
                 json = Some(args.next().unwrap_or_else(|| die("--json needs a path")));
             }
+            "--out" => {
+                out = Some(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--tolerance needs a number"));
+            }
             "--help" | "-h" => {
-                println!("usage: repro [all|table2|fig2|fig4|fig12|table4|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults]... [--scale S] [--json FILE]");
+                println!(
+                    "usage: repro [all|table2|fig2|fig4|fig12|table4|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline]... [--scale S] [--json FILE]\n\
+                            repro bench [--scale S] [--out FILE]\n\
+                            repro bench-compare BASELINE PR [--tolerance T]"
+                );
                 std::process::exit(0);
             }
             other => targets.push(other.to_string()),
@@ -43,7 +71,7 @@ fn parse_args() -> Args {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
-    Args { targets, scale, json }
+    Args { targets, scale, scale_set, json, out, tolerance }
 }
 
 fn die(msg: &str) -> ! {
@@ -51,8 +79,80 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Write `content` to `path`, creating parent directories.
+fn write_file(path: &str, content: &str) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", parent.display())));
+        }
+    }
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
+    f.write_all(content.as_bytes())
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+}
+
+/// `repro bench`: emit the CI gate's metrics JSON. `KISHU_BENCH_QUICK=1`
+/// shrinks the scale for the smoke stage unless `--scale` is explicit.
+fn run_bench(args: &Args) -> ! {
+    let quick = std::env::var("KISHU_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let scale = if args.scale_set {
+        args.scale
+    } else if quick {
+        0.1
+    } else {
+        args.scale
+    };
+    eprintln!("[repro] bench (scale {scale}{}) ...", if quick { ", quick" } else { "" });
+    let start = std::time::Instant::now();
+    let json = pipeline::bench_json(scale);
+    eprintln!("[repro] bench done in {:.1}s", start.elapsed().as_secs_f64());
+    let path = args.out.clone().unwrap_or_else(|| "target/BENCH_pr.json".to_string());
+    write_file(&path, &(json.pretty() + "\n"));
+    eprintln!("[repro] wrote {path}");
+    std::process::exit(0);
+}
+
+/// `repro bench-compare BASELINE PR`: fail (exit 1) on any metric more than
+/// `--tolerance` slower than baseline.
+fn run_bench_compare(args: &Args) -> ! {
+    let [_, baseline_path, pr_path] = &args.targets[..] else {
+        die("bench-compare needs exactly two paths: BASELINE PR");
+    };
+    let load = |p: &str| -> Json {
+        let text = std::fs::read_to_string(p)
+            .unwrap_or_else(|e| die(&format!("cannot read {p}: {e}")));
+        Json::parse(&text).unwrap_or_else(|e| die(&format!("{p}: {e}")))
+    };
+    let baseline = load(baseline_path);
+    let pr = load(pr_path);
+    match pipeline::compare(&baseline, &pr, args.tolerance) {
+        Ok(lines) => {
+            for l in lines {
+                println!("bench-gate: {l}");
+            }
+            println!("bench-gate: OK (tolerance {:.0}%)", args.tolerance * 100.0);
+            std::process::exit(0);
+        }
+        Err(lines) => {
+            for l in lines {
+                println!("bench-gate: {l}");
+            }
+            eprintln!("bench-gate: FAILED");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.targets.iter().any(|t| t == "bench") {
+        run_bench(&args);
+    }
+    if args.targets.first().is_some_and(|t| t == "bench-compare") {
+        run_bench_compare(&args);
+    }
     let everything = args.targets.iter().any(|t| t == "all");
     let want = |name: &str| everything || args.targets.iter().any(|t| t == name);
     let mut tables: Vec<Table> = Vec::new();
@@ -77,6 +177,17 @@ fn main() {
     run("fig12", &mut robustness::fig12, &mut tables);
     run("table4", &mut robustness::table4, &mut tables);
     run("table5", &mut robustness::table5, &mut tables);
+    // The write-pipeline table rides along with table5 (both are the
+    // "robustness + checkpoint mechanics" artifact group) and also answers
+    // to its own target name.
+    if want("table5") || want("pipeline") {
+        eprintln!("[repro] running pipeline (scale {scale}) ...");
+        let start = std::time::Instant::now();
+        let t = pipeline::table(scale);
+        eprintln!("[repro] pipeline done in {:.1}s", start.elapsed().as_secs_f64());
+        println!("{}", t.render());
+        tables.push(t);
+    }
     run("faults", &mut || robustness::faults(scale), &mut tables);
     if want("fig13") || want("fig14") {
         eprintln!("[repro] running fig13+fig14 (scale {scale}) ...");
@@ -102,12 +213,16 @@ fn main() {
     if tables.is_empty() {
         die("no experiment matched; see --help");
     }
-    if let Some(path) = args.json {
-        let json = Json::Array(tables.iter().map(Table::to_json).collect()).pretty();
-        let mut f = std::fs::File::create(&path)
-            .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
-        f.write_all(json.as_bytes())
-            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
-        eprintln!("[repro] wrote {path}");
-    }
+    // Default artifacts under target/ (never the source tree): the rendered
+    // tables and their machine-readable form.
+    let text: String = tables.iter().map(|t| t.render() + "\n").collect();
+    write_file("target/repro_output.txt", &text);
+    eprintln!("[repro] wrote target/repro_output.txt");
+    let json_path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "target/repro_results.json".to_string());
+    let json = Json::Array(tables.iter().map(Table::to_json).collect()).pretty();
+    write_file(&json_path, &json);
+    eprintln!("[repro] wrote {json_path}");
 }

@@ -2,6 +2,7 @@
 
 pub mod checkout;
 pub mod checkpoint;
+pub mod pipeline;
 pub mod robustness;
 pub mod sweeps;
 pub mod tracking;

@@ -1,0 +1,279 @@
+//! Checkpoint write-pipeline comparison: serial oracle vs parallel
+//! workers, with and without content-addressed dedup.
+//!
+//! The workload is built to exercise both tentpole behaviours directly:
+//!
+//! * each *build* cell creates several independent heavy co-variables, so
+//!   the per-cell dump batch has real fan-out for the worker pool;
+//! * the *repeat* cells re-create earlier cells' exact values — fresh
+//!   objects (the conservative detector fires) holding identical bytes
+//!   (the dedup index turns the writes into metadata-only operations).
+//!
+//! The same numbers feed the CI bench gate: [`bench_json`] emits the
+//! machine-readable latencies `scripts/bench_gate.sh` compares against
+//! `BENCH_baseline.json`, and [`compare`] is the comparator itself (kept
+//! here, in-tree and unit-tested, so the shell stage stays a thin wrapper).
+
+use std::time::{Duration, Instant};
+
+use kishu::session::{KishuConfig, KishuSession};
+use kishu_testkit::json::Json;
+
+use crate::report::{fmt_bytes, fmt_duration, Table};
+
+/// One pipeline configuration's totals.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Dedup enabled?
+    pub dedup: bool,
+    /// Total checkpoint wall time across cells.
+    pub ckpt_wall: Duration,
+    /// Wall time for three undo/redo round trips at the end of the run.
+    pub checkout_wall: Duration,
+    /// Logical serialized bytes (dedup hits included).
+    pub bytes_logical: u64,
+    /// Physical bytes handed to the store.
+    pub bytes_written: u64,
+    /// Co-variable writes deduplicated away.
+    pub blobs_deduped: usize,
+}
+
+/// The build+repeat workload (see module docs). Deterministic: payloads
+/// derive from `(size, seed)` literals, so repeat cells repeat bytes.
+fn workload_cells(scale: f64) -> Vec<String> {
+    let payload = ((524_288.0 * scale) as usize).max(4_096);
+    let build = |c: usize| {
+        let mut src = String::new();
+        for v in 0..4 {
+            src.push_str(&format!(
+                "m{c}_{v} = lib_obj('sk.GaussianMixture', {payload}, {seed})\n",
+                seed = c * 10 + v
+            ));
+        }
+        src
+    };
+    let mut cells: Vec<String> = (0..6).map(build).collect();
+    // Repeat phase: same sources as the first two build cells.
+    cells.push(build(0));
+    cells.push(build(1));
+    cells
+}
+
+/// Run the workload under one pipeline configuration.
+pub fn run(scale: f64, workers: usize, dedup: bool) -> PipelineRun {
+    let config = KishuConfig {
+        checkpoint_workers: workers,
+        dedup_blobs: dedup,
+        ..KishuConfig::default()
+    };
+    let mut s = KishuSession::in_memory(config);
+    let mut first_node = None;
+    for cell in workload_cells(scale) {
+        let r = s.run_cell(&cell).expect("pipeline workload parses");
+        if first_node.is_none() {
+            first_node = r.node;
+        }
+    }
+    let m = s.metrics();
+    let ckpt_wall = m.total_checkpoint();
+    let bytes_logical = m.total_checkpoint_bytes();
+    let bytes_written = m.total_bytes_written();
+    let blobs_deduped = m.total_blobs_deduped();
+    // Checkout latency: three undo/redo round trips to the first
+    // checkpoint, summed (amortizes timer noise for the CI gate).
+    let head = s.head();
+    let first = first_node.expect("auto checkpoint committed");
+    let start = Instant::now();
+    for _ in 0..3 {
+        s.checkout(first).expect("undo");
+        s.checkout(head).expect("redo");
+    }
+    let checkout_wall = start.elapsed();
+    PipelineRun {
+        workers,
+        dedup,
+        ckpt_wall,
+        checkout_wall,
+        bytes_logical,
+        bytes_written,
+        blobs_deduped,
+    }
+}
+
+/// The pipeline comparison table (printed by `repro table5` and
+/// `repro pipeline`).
+pub fn table(scale: f64) -> Table {
+    let serial = run(scale, 1, true);
+    let par = run(scale, 4, true);
+    let nodedup = run(scale, 4, false);
+    let mut t = Table::new(
+        "Pipeline",
+        "parallel checkpoint write pipeline vs the serial oracle",
+        &[
+            "Config",
+            "ckpt wall",
+            "undo/redo x3",
+            "logical bytes",
+            "bytes written",
+            "deduped",
+            "speedup",
+        ],
+    );
+    let base = serial.ckpt_wall.as_secs_f64();
+    for r in [&serial, &par, &nodedup] {
+        let label = format!(
+            "{} worker{}{}",
+            r.workers,
+            if r.workers == 1 { " (oracle)" } else { "s" },
+            if r.dedup { "" } else { ", dedup off" }
+        );
+        t.row(vec![
+            label,
+            fmt_duration(r.ckpt_wall),
+            fmt_duration(r.checkout_wall),
+            fmt_bytes(r.bytes_logical),
+            fmt_bytes(r.bytes_written),
+            r.blobs_deduped.to_string(),
+            format!("{:.2}x", base / r.ckpt_wall.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    t.note(
+        "store contents and fault ledgers are byte-identical across worker \
+         counts (writes stay on the session thread); dedup makes repeat \
+         checkpoints metadata-only",
+    );
+    t
+}
+
+/// Machine-readable bench-gate metrics (lower is better for every entry).
+/// Schema: `{"schema":"kishu-bench-v1","scale":S,"metrics":{name:ns}}`.
+pub fn bench_json(scale: f64) -> Json {
+    let serial = run(scale, 1, true);
+    let par = run(scale, 4, true);
+    Json::obj(vec![
+        ("schema", Json::Str("kishu-bench-v1".into())),
+        ("scale", Json::Float(scale)),
+        (
+            "metrics",
+            Json::obj(vec![
+                (
+                    "ckpt_serial_ns",
+                    Json::Int(serial.ckpt_wall.as_nanos() as i64),
+                ),
+                (
+                    "ckpt_parallel_ns",
+                    Json::Int(par.ckpt_wall.as_nanos() as i64),
+                ),
+                (
+                    "checkout_ns",
+                    Json::Int(par.checkout_wall.as_nanos() as i64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Compare a PR's bench metrics against a baseline. Returns one line per
+/// metric; `Err` lists the metrics that regressed beyond `tolerance`
+/// (e.g. `0.25` fails anything more than 25% slower than baseline).
+/// Metrics present on only one side are reported but never fail the gate —
+/// a fresh metric has no baseline to regress from.
+pub fn compare(baseline: &Json, pr: &Json, tolerance: f64) -> Result<Vec<String>, Vec<String>> {
+    let metrics = |j: &Json| -> Vec<(String, f64)> {
+        let Some(Json::Object(m)) = j.get("metrics") else {
+            return Vec::new();
+        };
+        m.iter()
+            .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+            .collect()
+    };
+    let base = metrics(baseline);
+    let new = metrics(pr);
+    let mut lines = Vec::new();
+    let mut regressions = Vec::new();
+    for (name, pr_ns) in &new {
+        match base.iter().find(|(k, _)| k == name) {
+            Some((_, base_ns)) if *base_ns > 0.0 => {
+                let ratio = pr_ns / base_ns;
+                let line = format!(
+                    "{name}: {:.2}ms -> {:.2}ms ({:+.1}%)",
+                    base_ns / 1e6,
+                    pr_ns / 1e6,
+                    (ratio - 1.0) * 100.0
+                );
+                if ratio > 1.0 + tolerance {
+                    regressions.push(format!("{line}  REGRESSION (> {:.0}%)", tolerance * 100.0));
+                } else {
+                    lines.push(line);
+                }
+            }
+            _ => lines.push(format!("{name}: no baseline (new metric, not gated)")),
+        }
+    }
+    for (name, _) in &base {
+        if !new.iter().any(|(k, _)| k == name) {
+            lines.push(format!("{name}: missing from PR run (not gated)"));
+        }
+    }
+    if regressions.is_empty() {
+        Ok(lines)
+    } else {
+        regressions.extend(lines);
+        Err(regressions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny scale keeps the test fast; correctness properties (dedup fires,
+    /// parallel beats serial on wall time, identical stored bytes) come
+    /// from `tests/parallel_pipeline.rs` — here we check the experiment's
+    /// own accounting.
+    #[test]
+    fn repeat_cells_dedup_and_accounting_is_consistent() {
+        let r = run(0.05, 2, true);
+        assert!(r.blobs_deduped >= 8, "two repeat cells of 4 covars: {r:?}");
+        assert!(r.bytes_written < r.bytes_logical, "{r:?}");
+        let off = run(0.05, 2, false);
+        assert_eq!(off.blobs_deduped, 0);
+        assert_eq!(off.bytes_logical, r.bytes_logical);
+        assert!(off.bytes_written > r.bytes_written);
+    }
+
+    #[test]
+    fn bench_json_has_the_gated_metrics() {
+        let j = bench_json(0.02);
+        for key in ["ckpt_serial_ns", "ckpt_parallel_ns", "checkout_ns"] {
+            let m = j.get("metrics").and_then(|m| m.get(key)).and_then(Json::as_f64);
+            assert!(matches!(m, Some(n) if n > 0.0), "{key} missing");
+        }
+    }
+
+    #[test]
+    fn compare_gates_only_real_regressions() {
+        let mk = |ckpt: f64, co: f64| {
+            Json::obj(vec![(
+                "metrics",
+                Json::obj(vec![
+                    ("ckpt_parallel_ns", Json::Float(ckpt)),
+                    ("checkout_ns", Json::Float(co)),
+                ]),
+            )])
+        };
+        // Within tolerance: ok.
+        assert!(compare(&mk(100.0, 100.0), &mk(120.0, 95.0), 0.25).is_ok());
+        // Past tolerance: the offender is named.
+        let err = compare(&mk(100.0, 100.0), &mk(130.0, 95.0), 0.25).unwrap_err();
+        assert!(err.iter().any(|l| l.contains("ckpt_parallel_ns") && l.contains("REGRESSION")));
+        // New metric with no baseline never fails.
+        let pr = Json::obj(vec![(
+            "metrics",
+            Json::obj(vec![("brand_new_ns", Json::Float(5.0))]),
+        )]);
+        assert!(compare(&mk(100.0, 100.0), &pr, 0.25).is_ok());
+    }
+}

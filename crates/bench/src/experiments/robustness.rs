@@ -3,7 +3,7 @@
 //! injection sweep (graceful degradation under storage faults).
 
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use kishu::session::{KishuConfig, KishuSession};
 use kishu::vargraph::{VarGraph, VarGraphConfig};
@@ -134,7 +134,7 @@ pub fn table4() -> Table {
 /// expect a report; change nothing and expect silence (conservative
 /// exceptions allowed).
 pub fn table5() -> Table {
-    let registry = Rc::new(Registry::standard());
+    let registry = Arc::new(Registry::standard());
     let config = VarGraphConfig {
         registry: registry.clone(),
         hash_arrays: true,

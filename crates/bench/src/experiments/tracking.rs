@@ -4,6 +4,7 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use kishu::session::{KishuConfig, KishuSession};
@@ -81,7 +82,7 @@ pub fn run_kishu_tracking(nb: &NotebookSpec, check_all: bool) -> TrackingRun {
 /// Run a notebook under the IPyFlow-style tracker.
 pub fn run_ipyflow(nb: &NotebookSpec) -> TrackingRun {
     let mut interp = Interp::new();
-    kishu_libsim::install(&mut interp, Rc::new(Registry::standard()));
+    kishu_libsim::install(&mut interp, Arc::new(Registry::standard()));
     let tracker = Rc::new(RefCell::new(IpyflowTracker::new(None)));
     interp.add_observer(tracker.clone());
     let mut cells = Vec::with_capacity(nb.cells.len());

@@ -2,7 +2,7 @@
 //! mechanism through the same loop: execute cell → checkpoint → (later)
 //! restore to a version.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use kishu::session::{KishuConfig, KishuSession};
@@ -113,7 +113,7 @@ enum Mech {
 impl Driver {
     /// Fresh kernel + method, checkpointing into an in-memory store.
     pub fn new(kind: MethodKind) -> Self {
-        let registry = Rc::new(Registry::standard());
+        let registry = Arc::new(Registry::standard());
         let inner = match kind {
             MethodKind::Kishu => Inner::Kishu {
                 session: KishuSession::in_memory(KishuConfig::default()),

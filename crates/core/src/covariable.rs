@@ -181,11 +181,11 @@ mod tests {
     use crate::vargraph::{VarGraph, VarGraphConfig};
     use kishu_libsim::Registry;
     use kishu_minipy::Interp;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn graphs_for(interp: &Interp, names: &[&str]) -> Vec<(String, VarGraph)> {
         let cfg = VarGraphConfig {
-            registry: Rc::new(Registry::standard()),
+            registry: Arc::new(Registry::standard()),
             hash_arrays: true,
             hash_primitive_lists: false,
         };

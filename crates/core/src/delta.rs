@@ -16,7 +16,7 @@
 //!    exactly Lemma 1's guarantee.
 
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use kishu_kernel::{AccessRecord, Heap, Namespace};
@@ -59,7 +59,7 @@ impl DeltaDetector {
     /// * `hash_arrays` — use the XXH64 array fast path (§6.2).
     /// * `check_all` — ignore the access record and re-verify every
     ///   co-variable each cell (the AblatedKishu baseline of Table 6).
-    pub fn new(registry: Rc<Registry>, hash_arrays: bool, check_all: bool) -> Self {
+    pub fn new(registry: Arc<Registry>, hash_arrays: bool, check_all: bool) -> Self {
         let mut config = VarGraphConfig::new(registry);
         config.hash_arrays = hash_arrays;
         Self::with_config(config, check_all)
@@ -221,7 +221,7 @@ mod tests {
     use kishu_minipy::Interp;
 
     fn detector(check_all: bool) -> DeltaDetector {
-        DeltaDetector::new(Rc::new(Registry::standard()), true, check_all)
+        DeltaDetector::new(Arc::new(Registry::standard()), true, check_all)
     }
 
     fn run(interp: &mut Interp, det: &mut DeltaDetector, src: &str) -> StateDelta {

@@ -10,14 +10,14 @@
 
 use std::collections::BTreeSet;
 use std::io;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use kishu_kernel::{ObjId, ObjKind};
 use kishu_libsim::{LibReducer, Registry};
 use kishu_minipy::{CellOutcome, Interp, RunError};
 use kishu_pickle::{dumps, loads};
-use kishu_storage::{crc32::crc32, CheckpointStore, MemoryStore, StoreStats};
+use kishu_storage::{content_key, crc32::crc32, BlobIndex, CheckpointStore, MemoryStore, StoreStats};
 
 use crate::covariable::CoVarKey;
 use crate::delta::DeltaDetector;
@@ -60,6 +60,36 @@ pub struct KishuConfig {
     /// recomputation), a failed read falls back on the spot. Non-transient
     /// errors are never retried.
     pub store_retries: u32,
+    /// Worker threads for the checkpoint write pipeline: co-variable
+    /// serialization and CRC sealing fan out over a [`kishu_testkit::pool`]
+    /// batch; store writes stay sequential on the session thread (in delta
+    /// order), so store contents and fault ledgers are byte-identical at
+    /// every worker count. `1` is the fully serial path — kept as the
+    /// differential-testing oracle. Defaults to the
+    /// `KISHU_CHECKPOINT_WORKERS` environment variable when set, else
+    /// `min(4, available cores)`.
+    pub checkpoint_workers: usize,
+    /// Content-addressed blob dedup: before writing a sealed payload, look
+    /// its content key up in the session's [`kishu_storage::BlobIndex`] and
+    /// reuse the existing blob on a hit — a repeat checkpoint of unchanged
+    /// bytes becomes metadata-only. `checkpoint_bytes` still counts the
+    /// logical serialized size; the new `bytes_written` metric counts only
+    /// physical writes.
+    pub dedup_blobs: bool,
+}
+
+/// Default checkpoint pipeline width: `KISHU_CHECKPOINT_WORKERS` when set
+/// (clamped to at least 1), else `min(4, available cores)`.
+pub fn default_checkpoint_workers() -> usize {
+    if let Ok(v) = std::env::var("KISHU_CHECKPOINT_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
 }
 
 impl Default for KishuConfig {
@@ -74,6 +104,8 @@ impl Default for KishuConfig {
             hash_primitive_lists: false,
             defer_serialization: false,
             store_retries: 2,
+            checkpoint_workers: default_checkpoint_workers(),
+            dedup_blobs: true,
         }
     }
 }
@@ -114,6 +146,13 @@ pub struct CellMetrics {
     /// skips — blocklist, `store_data: false`, pending deferral — do not
     /// count.
     pub blobs_dropped: usize,
+    /// Co-variables whose sealed bytes matched an already-written blob and
+    /// were deduplicated away (no store write happened).
+    pub blobs_deduped: usize,
+    /// Physical bytes actually handed to the store this cell (sealed
+    /// payloads minus dedup hits). `checkpoint_bytes` keeps counting the
+    /// logical serialized size.
+    pub bytes_written: u64,
 }
 
 /// Aggregated session measurements.
@@ -149,6 +188,16 @@ impl SessionMetrics {
     pub fn total_blobs_dropped(&self) -> usize {
         self.cells.iter().map(|c| c.blobs_dropped).sum()
     }
+
+    /// Total co-variable blobs deduplicated away across cells.
+    pub fn total_blobs_deduped(&self) -> usize {
+        self.cells.iter().map(|c| c.blobs_deduped).sum()
+    }
+
+    /// Total physical bytes handed to the store across cells.
+    pub fn total_bytes_written(&self) -> u64 {
+        self.cells.iter().map(|c| c.bytes_written).sum()
+    }
 }
 
 /// Result of [`KishuSession::run_cell`].
@@ -172,6 +221,14 @@ pub struct CellReport {
     /// serialization or the store failed (degradation counter; checkout
     /// restores them by fallback recomputation).
     pub blobs_dropped: usize,
+    /// Co-variables deduplicated against an already-written blob (their
+    /// checkpoint became metadata-only).
+    pub blobs_deduped: usize,
+    /// Physical bytes actually handed to the store (dedup hits excluded).
+    pub bytes_written: u64,
+    /// `checkpoint_time` in integer nanoseconds, for JSON report emission
+    /// and the bench comparator (no `Duration` parsing downstream).
+    pub ckpt_wall_ns: u64,
 }
 
 /// Result of [`KishuSession::checkout`].
@@ -208,7 +265,7 @@ pub struct KishuSession {
     /// The simulated kernel (public so examples and experiments can inspect
     /// the namespace and heap directly).
     pub interp: Interp,
-    registry: Rc<Registry>,
+    registry: Arc<Registry>,
     reducer: LibReducer,
     detector: DeltaDetector,
     graph: CheckpointGraph,
@@ -219,6 +276,9 @@ pub struct KishuSession {
     pending: Vec<(NodeId, CoVarKey)>,
     /// Allocation high-water mark at the last garbage collection.
     last_gc_allocs: u64,
+    /// Content-addressed index over sealed payloads written this session
+    /// (advisory; empty after `resume`). See [`KishuConfig::dedup_blobs`].
+    blob_index: BlobIndex,
 }
 
 impl KishuSession {
@@ -226,7 +286,7 @@ impl KishuSession {
     /// `store`. This is the `init` step of §3.2: the namespace patch is
     /// armed and the Checkpoint Graph initialized with its root.
     pub fn new(store: Box<dyn CheckpointStore>, config: KishuConfig) -> Self {
-        let registry = Rc::new(Registry::standard());
+        let registry = Arc::new(Registry::standard());
         let mut interp = Interp::new();
         kishu_libsim::install(&mut interp, registry.clone());
         let mut vg_config = crate::vargraph::VarGraphConfig::new(registry.clone());
@@ -244,6 +304,7 @@ impl KishuSession {
             metrics: SessionMetrics::default(),
             pending: Vec::new(),
             last_gc_allocs: 0,
+            blob_index: BlobIndex::new(),
         }
     }
 
@@ -263,13 +324,65 @@ impl KishuSession {
     }
 
     /// The class registry this session simulates libraries from.
-    pub fn registry(&self) -> &Rc<Registry> {
+    pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
     }
 
     /// Storage accounting.
     pub fn store_stats(&self) -> StoreStats {
         self.store.stats()
+    }
+
+    /// The checkpoint store (read-only), so differential tests can compare
+    /// store contents byte-for-byte across pipeline configurations.
+    pub fn store(&self) -> &dyn CheckpointStore {
+        self.store.as_ref()
+    }
+
+    /// Serialize and seal a batch of co-variables, fanning the work out
+    /// over [`KishuConfig::checkpoint_workers`] threads. Results come back
+    /// in input order regardless of scheduling — `None` marks an
+    /// unserializable co-variable. Sealing (CRC framing) happens on the
+    /// worker too: it is per-byte work with no ordering requirement.
+    ///
+    /// Only CPU-side work runs here. Store writes stay on the session
+    /// thread, in batch order, so the blob-id sequence, store bytes, and
+    /// any injected-fault ledger are identical at every worker count.
+    fn dump_sealed_batch(&self, batch: &[(CoVarKey, Vec<ObjId>)]) -> Vec<Option<(Vec<u8>, u64)>> {
+        let heap = &self.interp.heap;
+        let reducer = &self.reducer;
+        let jobs: Vec<_> = batch
+            .iter()
+            .map(|(_, roots)| {
+                move || {
+                    dumps(heap, roots, reducer).ok().map(|bytes| {
+                        let len = bytes.len() as u64;
+                        (seal_blob(&bytes), len)
+                    })
+                }
+            })
+            .collect();
+        kishu_testkit::pool::run(self.config.checkpoint_workers.max(1), jobs)
+    }
+
+    /// Write one sealed payload, deduplicating against the session's
+    /// content index when enabled. Returns the blob id and whether the
+    /// write was deduplicated away. Only successful full writes are
+    /// indexed — a dropped blob must never satisfy a later lookup.
+    fn put_sealed(&mut self, sealed: &[u8]) -> io::Result<(u64, bool)> {
+        let key = self.config.dedup_blobs.then(|| content_key(sealed));
+        if let Some(key) = key {
+            if let Some(id) = self.blob_index.lookup(key) {
+                return Ok((id, true));
+            }
+        }
+        let retries = self.config.store_retries;
+        let store = &mut self.store;
+        let id = retry_io(retries, || store.put(sealed))?;
+        if let Some(key) = key {
+            self.blob_index.record(key, id);
+        }
+        Ok((id, false))
     }
 
     /// Session measurements.
@@ -404,7 +517,9 @@ impl KishuSession {
 
         let cp_start = Instant::now();
         let mut checkpoint_bytes = 0u64;
+        let mut bytes_written = 0u64;
         let mut blobs_dropped = 0usize;
+        let mut blobs_deduped = 0usize;
         let mut committed: Option<NodeId> = None;
         let mut deferred: Vec<CoVarKey> = Vec::new();
         let mut stored: Vec<StoredCoVar> = Vec::with_capacity(delta.updated.len());
@@ -431,66 +546,61 @@ impl KishuSession {
                 })
                 .collect();
             deps.dedup();
+            // Phase 1 (classify, session thread): decide each co-variable's
+            // fate. Policy skips and deferrals write nothing now; the rest
+            // queue for the dump pipeline.
+            let mut to_dump: Vec<(CoVarKey, Vec<ObjId>)> = Vec::new();
+            let mut dump_slots: Vec<Option<usize>> = Vec::with_capacity(delta.updated.len());
             for key in &delta.updated {
                 let roots: Vec<ObjId> = key
                     .iter()
                     .filter_map(|n| self.interp.globals.peek(n))
                     .collect();
-                let record = if !store_data || roots.len() != key.len() || self.is_blocklisted(&roots) {
-                    StoredCoVar {
-                        names: key.clone(),
-                        blob: None,
-                        bytes: 0,
-                    }
+                stored.push(StoredCoVar {
+                    names: key.clone(),
+                    blob: None,
+                    bytes: 0,
+                });
+                if !store_data || roots.len() != key.len() || self.is_blocklisted(&roots) {
+                    dump_slots.push(None);
                 } else if self.config.defer_serialization {
                     deferred.push(key.clone());
-                    StoredCoVar {
-                        names: key.clone(),
-                        blob: None,
-                        bytes: 0,
-                    }
+                    dump_slots.push(None);
                 } else {
-                    match dumps(&self.interp.heap, &roots, &self.reducer) {
-                        Ok(bytes) => {
-                            let len = bytes.len() as u64;
-                            let sealed = seal_blob(&bytes);
-                            let store = &mut self.store;
-                            let retries = self.config.store_retries;
-                            match retry_io(retries, || store.put(&sealed)) {
-                                Ok(id) => {
-                                    checkpoint_bytes += len;
-                                    StoredCoVar {
-                                        names: key.clone(),
-                                        blob: Some(id),
-                                        bytes: len,
-                                    }
-                                }
-                                // Store failure even after retries: drop the
-                                // blob, count the degradation, rely on
-                                // fallback recomputation.
-                                Err(_) => {
-                                    blobs_dropped += 1;
-                                    StoredCoVar {
-                                        names: key.clone(),
-                                        blob: None,
-                                        bytes: 0,
-                                    }
-                                }
+                    dump_slots.push(Some(to_dump.len()));
+                    to_dump.push((key.clone(), roots));
+                }
+            }
+            // Phase 2 (serialize + seal, worker pool): the CPU-heavy part,
+            // fanned out; results return in delta order.
+            let dumped = self.dump_sealed_batch(&to_dump);
+            // Phase 3 (write, session thread): sequential puts in delta
+            // order keep blob ids, store bytes, and fault ledgers identical
+            // at every worker count; dedup turns repeat payloads into
+            // metadata-only entries.
+            for (record, slot) in stored.iter_mut().zip(&dump_slots) {
+                let Some(slot) = slot else { continue };
+                match &dumped[*slot] {
+                    Some((sealed, len)) => match self.put_sealed(sealed) {
+                        Ok((id, deduped)) => {
+                            checkpoint_bytes += len;
+                            if deduped {
+                                blobs_deduped += 1;
+                            } else {
+                                bytes_written += sealed.len() as u64;
                             }
+                            record.blob = Some(id);
+                            record.bytes = *len;
                         }
-                        // Unserializable co-variable: skip storage, rely on
-                        // fallback recomputation (§5.1).
-                        Err(_) => {
-                            blobs_dropped += 1;
-                            StoredCoVar {
-                                names: key.clone(),
-                                blob: None,
-                                bytes: 0,
-                            }
-                        }
-                    }
-                };
-                stored.push(record);
+                        // Store failure even after retries: drop the blob,
+                        // count the degradation, rely on fallback
+                        // recomputation.
+                        Err(_) => blobs_dropped += 1,
+                    },
+                    // Unserializable co-variable: skip storage, rely on
+                    // fallback recomputation (§5.1).
+                    None => blobs_dropped += 1,
+                }
             }
             let node = self
                 .graph
@@ -523,6 +633,8 @@ impl KishuSession {
             covars_updated: delta.updated.len(),
             candidates_checked: delta.candidates_checked,
             blobs_dropped,
+            blobs_deduped,
+            bytes_written,
         });
 
         Ok(CellReport {
@@ -533,6 +645,9 @@ impl KishuSession {
             checkpoint_time,
             checkpoint_bytes,
             blobs_dropped,
+            blobs_deduped,
+            bytes_written,
+            ckpt_wall_ns: checkpoint_time.as_nanos() as u64,
         })
     }
 
@@ -569,6 +684,10 @@ impl KishuSession {
         }
         let pending = std::mem::take(&mut self.pending);
         let mut flushed = 0;
+        // Same three-phase shape as `run_cell_with`: classify, fan the
+        // dumps out, then write sequentially in pending order.
+        let mut batch: Vec<(CoVarKey, Vec<ObjId>)> = Vec::new();
+        let mut nodes: Vec<NodeId> = Vec::new();
         for (node, key) in pending {
             let roots: Vec<ObjId> = key
                 .iter()
@@ -578,21 +697,21 @@ impl KishuSession {
                 continue; // vanished between cells (checkout raced): falls
                           // back to recomputation like any missing blob
             }
-            let dropped = match dumps(&self.interp.heap, &roots, &self.reducer) {
-                Ok(bytes) => {
-                    let sealed = seal_blob(&bytes);
-                    let store = &mut self.store;
-                    let retries = self.config.store_retries;
-                    match retry_io(retries, || store.put(&sealed)) {
-                        Ok(id) => {
-                            self.graph.set_stored(node, &key, id, bytes.len() as u64);
-                            flushed += 1;
-                            false
-                        }
-                        Err(_) => true,
+            batch.push((key, roots));
+            nodes.push(node);
+        }
+        let dumped = self.dump_sealed_batch(&batch);
+        for (((key, _), node), dump) in batch.iter().zip(nodes).zip(dumped) {
+            let dropped = match dump {
+                Some((sealed, len)) => match self.put_sealed(&sealed) {
+                    Ok((id, _deduped)) => {
+                        self.graph.set_stored(node, key, id, len);
+                        flushed += 1;
+                        false
                     }
-                }
-                Err(_) => true,
+                    Err(_) => true,
+                },
+                None => true,
             };
             if dropped {
                 if let Some(m) = self

@@ -17,7 +17,7 @@
 //!   pickle errors.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use kishu_kernel::{Heap, ObjId, ObjKind};
 use kishu_libsim::Registry;
@@ -84,7 +84,7 @@ pub struct VarGraph {
 #[derive(Debug, Clone)]
 pub struct VarGraphConfig {
     /// Class behaviour source.
-    pub registry: Rc<Registry>,
+    pub registry: Arc<Registry>,
     /// Use the XXH64 fast path for arrays (`true`, Kishu's default) or
     /// record full element vectors (`false`, the ablation in the
     /// `vargraph_vs_hash` bench).
@@ -100,7 +100,7 @@ pub struct VarGraphConfig {
 impl VarGraphConfig {
     /// Default configuration over a registry (hash fast path on, list
     /// hashing off — the paper's shipped configuration).
-    pub fn new(registry: Rc<Registry>) -> Self {
+    pub fn new(registry: Arc<Registry>) -> Self {
         VarGraphConfig {
             registry,
             hash_arrays: true,
@@ -279,7 +279,7 @@ mod tests {
 
     fn config() -> VarGraphConfig {
         VarGraphConfig {
-            registry: Rc::new(Registry::standard()),
+            registry: Arc::new(Registry::standard()),
             hash_arrays: true,
             hash_primitive_lists: false,
         }
@@ -352,7 +352,7 @@ mod tests {
         let mut i = Interp::new();
         run(&mut i, "arr = zeros(100)\n");
         let cfg = VarGraphConfig {
-            registry: Rc::new(Registry::standard()),
+            registry: Arc::new(Registry::standard()),
             hash_arrays: false,
             hash_primitive_lists: false,
         };
@@ -410,7 +410,7 @@ mod tests {
     #[test]
     fn dynamic_identity_classes_are_false_positives() {
         let mut i = Interp::new();
-        kishu_libsim::install(&mut i, Rc::new(Registry::standard()));
+        kishu_libsim::install(&mut i, Arc::new(Registry::standard()));
         run(&mut i, "fig = lib_obj('plt.Figure', 64, 1)\n");
         let cfg = config();
         let mut nonce = 0;
@@ -422,7 +422,7 @@ mod tests {
     #[test]
     fn clean_external_classes_compare_stably() {
         let mut i = Interp::new();
-        kishu_libsim::install(&mut i, Rc::new(Registry::standard()));
+        kishu_libsim::install(&mut i, Arc::new(Registry::standard()));
         run(&mut i, "m = lib_obj('sk.KMeans', 64, 1)\n");
         let cfg = config();
         let mut nonce = 0;

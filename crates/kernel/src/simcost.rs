@@ -27,6 +27,16 @@ pub const TRAIN_BPS: u64 = 10 * 1024 * 1024;
 /// Simulated in-place model/dataset update throughput (bytes/second).
 pub const UPDATE_BPS: u64 = 100 * 1024 * 1024;
 
+/// Simulated object-graph serialization throughput (bytes of pickle
+/// produced per second) — the CPU-bound walk+encode cost every
+/// checkpointing method pays at dump time. Calibrated to `pickle`-ing
+/// library state (model weights, dataframes) on commodity hardware;
+/// deliberately faster than [`TRAIN_BPS`] (recomputing state always costs
+/// more than serializing it) and slower than a raw `memcpy`. Deserialize
+/// is not charged: reads are dominated by store latency, and charging both
+/// sides would double-count the checkout path the paper measures.
+pub const PICKLE_BPS: u64 = 64 * 1024 * 1024;
+
 /// Simulated cost of killing and restarting a kernel process.
 pub const KERNEL_RESTART: Duration = Duration::from_millis(100);
 

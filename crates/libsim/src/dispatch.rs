@@ -15,6 +15,7 @@
 //! caveat for fallback recomputation.
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use kishu_kernel::{ObjId, ObjKind};
 use kishu_minipy::error::{RunError, RunErrorKind};
@@ -24,19 +25,19 @@ use crate::registry::Registry;
 
 /// Method dispatcher for `ObjKind::External` objects.
 pub struct LibDispatch {
-    registry: Rc<Registry>,
+    registry: Arc<Registry>,
 }
 
 impl LibDispatch {
     /// Dispatcher over a shared registry.
-    pub fn new(registry: Rc<Registry>) -> Self {
+    pub fn new(registry: Arc<Registry>) -> Self {
         LibDispatch { registry }
     }
 }
 
 /// Register the library constructors and method dispatch into an
 /// interpreter. Returns the shared registry for use by Kishu and baselines.
-pub fn install(interp: &mut Interp, registry: Rc<Registry>) {
+pub fn install(interp: &mut Interp, registry: Arc<Registry>) {
     interp.set_external_dispatch(Rc::new(LibDispatch::new(registry.clone())));
 
     let reg = registry.clone();
@@ -230,9 +231,9 @@ impl ExternalDispatch for LibDispatch {
 mod tests {
     use super::*;
 
-    fn session() -> (Interp, Rc<Registry>) {
+    fn session() -> (Interp, Arc<Registry>) {
         let mut interp = Interp::new();
-        let registry = Rc::new(Registry::standard());
+        let registry = Arc::new(Registry::standard());
         install(&mut interp, registry.clone());
         (interp, registry)
     }

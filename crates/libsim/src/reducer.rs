@@ -1,6 +1,6 @@
 //! Registry-backed reduction instructions.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use kishu_kernel::ClassId;
 use kishu_pickle::{PickleError, Reducer};
@@ -13,12 +13,12 @@ use crate::registry::Registry;
 /// raising (§6.2).
 #[derive(Clone)]
 pub struct LibReducer {
-    registry: Rc<Registry>,
+    registry: Arc<Registry>,
 }
 
 impl LibReducer {
     /// Reducer over a shared registry.
-    pub fn new(registry: Rc<Registry>) -> Self {
+    pub fn new(registry: Arc<Registry>) -> Self {
         LibReducer { registry }
     }
 }
@@ -76,7 +76,7 @@ mod tests {
 
     #[test]
     fn unserializable_class_refuses_dump() {
-        let registry = Rc::new(Registry::standard());
+        let registry = Arc::new(Registry::standard());
         let reducer = LibReducer::new(registry.clone());
         let lazy = registry.by_name("pl.LazyFrame").expect("exists").id;
         let mut heap = Heap::new();
@@ -87,7 +87,7 @@ mod tests {
 
     #[test]
     fn deserialize_failing_class_dumps_but_wont_load() {
-        let registry = Rc::new(Registry::standard());
+        let registry = Arc::new(Registry::standard());
         let reducer = LibReducer::new(registry.clone());
         let bokeh = registry.by_name("bokeh.figure").expect("exists").id;
         let mut heap = Heap::new();
@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn silent_error_class_roundtrips_wrong() {
-        let registry = Rc::new(Registry::standard());
+        let registry = Arc::new(Registry::standard());
         let reducer = LibReducer::new(registry.clone());
         let wc = registry.by_name("wordcloud.WordCloud").expect("exists").id;
         let mut heap = Heap::new();
@@ -116,7 +116,7 @@ mod tests {
 
     #[test]
     fn clean_and_off_process_classes_roundtrip_exactly() {
-        let registry = Rc::new(Registry::standard());
+        let registry = Arc::new(Registry::standard());
         let reducer = LibReducer::new(registry.clone());
         let mut heap = Heap::new();
         for name in ["pd.DataFrame", "torch.Tensor", "ray.data.Dataset"] {

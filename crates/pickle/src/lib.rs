@@ -41,7 +41,15 @@ use kishu_kernel::{Heap, ObjId};
 /// the closure contains an opaque object (generator) or a class whose
 /// reduction refuses.
 pub fn dumps(heap: &Heap, roots: &[ObjId], reducer: &dyn Reducer) -> Result<Vec<u8>, PickleError> {
-    writer::Writer::new(heap, reducer).dump(roots)
+    let blob = writer::Writer::new(heap, reducer).dump(roots)?;
+    // Charge the simulated serialization latency (see `simcost`): the
+    // synthetic encoder is orders of magnitude faster than pickling real
+    // library state, which would make every dump look free and erase the
+    // serialization/store trade-offs the measurements compare. Charged
+    // uniformly for every method; per-blob charges sleep on the calling
+    // thread, so the parallel checkpoint pipeline genuinely overlaps them.
+    kishu_kernel::simcost::charge_bytes(blob.len() as u64, kishu_kernel::simcost::PICKLE_BPS);
+    Ok(blob)
 }
 
 /// Reconstruct a blob produced by [`dumps`] into `heap`, returning the new

@@ -15,17 +15,26 @@
 //! * **fsync lies** on `sync` — success is reported without the inner
 //!   store ever being synced (the classic lying-disk failure).
 //!
-//! Every decision is a deterministic function of the seed and the operation
-//! sequence, so a failing run replays exactly from its seed. Each injected
-//! fault is appended to a [`FaultLedger`] so tests can assert both that
-//! faults actually fired and that the layers above degraded gracefully
-//! (§5.3's fallback recomputation) instead of corrupting state.
+//! Every probabilistic decision is a **pure function of `(seed, op kind,
+//! operation key, per-key attempt counter)`** — for `put` the key is the
+//! XXH64 of the payload, for `get` the blob id, for `sync` a constant. No
+//! shared RNG stream is consumed in operation order, so the same plan
+//! injects the same faults *regardless of how concurrent callers interleave
+//! their operations*: the parallel checkpoint pipeline and the serial
+//! oracle see identical fault sequences, and a failing run replays exactly
+//! from its seed. (Scheduled one-shot faults remain pinned to per-op
+//! invocation indices; they are only deterministic while operations issue
+//! in a deterministic order, which the session's single writer guarantees.)
+//! Each injected fault is appended to a [`FaultLedger`] so tests can assert
+//! both that faults actually fired and that the layers above degraded
+//! gracefully (§5.3's fallback recomputation) instead of corrupting state.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::sync::{Arc, Mutex};
 
-use kishu_testkit::rng::Rng;
+use kishu_testkit::hash::xxh64;
+use kishu_testkit::rng::splitmix64;
 
 use crate::{BlobId, CheckpointStore, StoreStats};
 
@@ -133,8 +142,9 @@ pub struct InjectedFault {
 }
 
 /// Record of every fault injected plus how many operations ran, for test
-/// assertions ("faults actually fired", "N of M gets were corrupted").
-#[derive(Debug, Clone, Default)]
+/// assertions ("faults actually fired", "N of M gets were corrupted",
+/// "the parallel pipeline's ledger is identical to the serial oracle's").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultLedger {
     /// Every injected fault, in injection order.
     pub injected: Vec<InjectedFault>,
@@ -163,13 +173,16 @@ impl FaultLedger {
     }
 }
 
-/// Mutable wrapper state behind one lock: `get` takes `&self`, so the RNG
-/// and ledger need interior mutability (Mutex to match the store's Send
-/// posture rather than RefCell).
+/// Mutable wrapper state behind one lock: `get` takes `&self`, so the
+/// ledger and counters need interior mutability (Mutex to match the store's
+/// Send posture rather than RefCell).
 #[derive(Debug)]
 struct FaultState {
-    rng: Rng,
     ledger: FaultLedger,
+    /// Per-`(op, key)` attempt counters: the `attempt` input of the keyed
+    /// fault decision, so a retry of the same operation (same payload, same
+    /// blob) draws fresh randomness while staying interleaving-independent.
+    attempts: BTreeMap<(FaultOp, u64), u64>,
     /// Blobs hit by a permanent `get` fault: dead forever.
     dead_blobs: BTreeSet<BlobId>,
     /// Ops of this kind permanently failed (permanent fault on `put`/`sync`).
@@ -184,6 +197,7 @@ struct FaultState {
 pub struct FaultStore {
     inner: Box<dyn CheckpointStore>,
     plan: FaultPlan,
+    seed: u64,
     state: Arc<Mutex<FaultState>>,
 }
 
@@ -222,9 +236,10 @@ impl FaultStore {
         FaultStore {
             inner,
             plan,
+            seed,
             state: Arc::new(Mutex::new(FaultState {
-                rng: Rng::seed_from_u64(seed),
                 ledger: FaultLedger::default(),
+                attempts: BTreeMap::new(),
                 dead_blobs: BTreeSet::new(),
                 dead_ops: BTreeSet::new(),
                 sync_lied: false,
@@ -267,11 +282,12 @@ impl FaultStore {
             .map(|s| s.kind)
     }
 
-    /// Take this call's per-op index and fault decision (plus the short-
-    /// write cut point, drawn here so the RNG stream stays op-ordered).
+    /// Take this call's per-op index and fault decision. Probabilistic
+    /// draws are a pure function of `(seed, op, key, attempt)` — see
+    /// [`keyed_draw`] — so they are independent of operation interleaving.
     /// A scheduled fault beats the probabilistic draws; a permanently
     /// failed op/blob beats both.
-    fn decide(&self, op: FaultOp, payload_len: usize, blob: Option<BlobId>) -> Decision {
+    fn decide(&self, op: FaultOp, key: u64) -> Decision {
         let mut st = self.state.lock().expect("fault state poisoned");
         let (index, dead, transient_p, corrupt_p, corrupt_kind) = match op {
             FaultOp::Put => {
@@ -283,7 +299,7 @@ impl FaultStore {
             FaultOp::Get => {
                 let i = st.ledger.gets;
                 st.ledger.gets += 1;
-                let dead = blob.is_some_and(|b| st.dead_blobs.contains(&b));
+                let dead = st.dead_blobs.contains(&key);
                 (i, dead, self.plan.get_transient_p, self.plan.bit_flip_p, FaultKind::BitFlip)
             }
             FaultOp::Sync => {
@@ -293,22 +309,27 @@ impl FaultStore {
                 (i, dead, self.plan.sync_transient_p, self.plan.fsync_lie_p, FaultKind::FsyncLie)
             }
         };
+        let attempt = {
+            let counter = st.attempts.entry((op, key)).or_insert(0);
+            let a = *counter;
+            *counter += 1;
+            a
+        };
         let kind = if dead {
             Some(FaultKind::Permanent)
         } else if let Some(k) = self.scheduled(op, index) {
             Some(k)
-        } else if st.rng.gen_bool(transient_p) {
+        } else if unit(keyed_draw(self.seed, op, key, attempt, Lane::Transient)) < transient_p {
             Some(FaultKind::Transient)
-        } else if st.rng.gen_bool(corrupt_p) {
+        } else if unit(keyed_draw(self.seed, op, key, attempt, Lane::Corrupt)) < corrupt_p {
             Some(corrupt_kind)
         } else {
             None
         };
-        let cut = match kind {
-            Some(FaultKind::ShortWrite) if payload_len > 0 => st.rng.random_range(0..payload_len),
-            _ => 0,
-        };
-        Decision { index, kind, cut }
+        // Positional entropy for bit-flips / short-write cuts, from its own
+        // lane so it never perturbs the fire/don't-fire decisions.
+        let entropy = keyed_draw(self.seed, op, key, attempt, Lane::Position);
+        Decision { index, kind, entropy }
     }
 
     /// Append one injected fault to the ledger.
@@ -337,12 +358,47 @@ impl FaultStore {
 struct Decision {
     index: u64,
     kind: Option<FaultKind>,
-    cut: usize,
+    /// Keyed positional randomness for the op's corruption mode (bit index
+    /// for a flip, cut point for a short write).
+    entropy: u64,
 }
+
+/// Independent randomness lanes within one `(seed, op, key, attempt)`
+/// point, so e.g. the short-write cut position never perturbs whether a
+/// transient fault fires.
+#[derive(Debug, Clone, Copy)]
+enum Lane {
+    Transient = 0,
+    Corrupt = 1,
+    Position = 2,
+}
+
+/// The keyed fault draw: a pure function of its five inputs, with no
+/// shared stream — concurrent callers in any interleaving observe the
+/// same decisions for the same logical operations.
+fn keyed_draw(seed: u64, op: FaultOp, key: u64, attempt: u64, lane: Lane) -> u64 {
+    let mut state = seed ^ 0xA076_1D64_78BD_642F;
+    let mut out = 0u64;
+    for word in [1 + op as u64, key, attempt, lane as u64] {
+        state ^= word.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        out = splitmix64(&mut state);
+    }
+    out
+}
+
+/// Map a draw onto `[0, 1)` with 53 bits of precision (the standard
+/// u64-to-double construction).
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Seed for hashing `put` payloads into operation keys; distinct from the
+/// dedup index's content seed so the two key spaces are unrelated.
+const PUT_KEY_SEED: u64 = 0xFA_017_5EED;
 
 impl CheckpointStore for FaultStore {
     fn put(&mut self, bytes: &[u8]) -> io::Result<BlobId> {
-        let d = self.decide(FaultOp::Put, bytes.len(), None);
+        let d = self.decide(FaultOp::Put, xxh64(bytes, PUT_KEY_SEED));
         match d.kind {
             None => self.inner.put(bytes),
             Some(kind @ FaultKind::Transient) => {
@@ -353,7 +409,8 @@ impl CheckpointStore for FaultStore {
                 // A proper prefix lands in the inner store (the torn bytes a
                 // crashed append leaves behind), then the caller sees the
                 // error — it must never reference the garbage id.
-                let blob = self.inner.put(&bytes[..d.cut]).ok();
+                let cut = if bytes.is_empty() { 0 } else { d.entropy as usize % bytes.len() };
+                let blob = self.inner.put(&bytes[..cut]).ok();
                 self.record(FaultOp::Put, kind, d.index, blob);
                 Err(Self::permanent_err(FaultOp::Put))
             }
@@ -374,7 +431,7 @@ impl CheckpointStore for FaultStore {
     }
 
     fn get(&self, id: BlobId) -> io::Result<Vec<u8>> {
-        let d = self.decide(FaultOp::Get, 0, Some(id));
+        let d = self.decide(FaultOp::Get, id);
         match d.kind {
             None => self.inner.get(id),
             Some(kind @ FaultKind::Transient) => {
@@ -384,10 +441,7 @@ impl CheckpointStore for FaultStore {
             Some(kind @ FaultKind::BitFlip) => {
                 let mut bytes = self.inner.get(id)?;
                 if !bytes.is_empty() {
-                    let bit = {
-                        let mut st = self.state.lock().expect("fault state poisoned");
-                        st.rng.random_range(0..bytes.len() * 8)
-                    };
+                    let bit = d.entropy as usize % (bytes.len() * 8);
                     bytes[bit / 8] ^= 1 << (bit % 8);
                 }
                 self.record(FaultOp::Get, kind, d.index, Some(id));
@@ -416,7 +470,7 @@ impl CheckpointStore for FaultStore {
     }
 
     fn sync(&mut self) -> io::Result<()> {
-        let d = self.decide(FaultOp::Sync, 0, None);
+        let d = self.decide(FaultOp::Sync, 0);
         match d.kind {
             None => {
                 let r = self.inner.sync();
@@ -484,6 +538,38 @@ mod tests {
         };
         assert_eq!(run(42), run(42), "deterministic from the seed");
         assert_ne!(run(42).1, run(43).1, "different seeds, different faults");
+    }
+
+    #[test]
+    fn probabilistic_faults_are_independent_of_operation_interleaving() {
+        // Issue the same logical puts in two different orders: each payload
+        // must see the same fault outcome either way, because the decision
+        // is keyed on (seed, op, payload hash, attempt), not on a shared
+        // RNG stream consumed in call order.
+        let payloads: Vec<Vec<u8>> = (0..40u8).map(|i| vec![i; 24 + i as usize]).collect();
+        let outcomes = |order: Vec<usize>| {
+            let mut s = faulty(FaultPlan::transient(0.35), 0x1EAF);
+            let mut by_payload = vec![false; payloads.len()];
+            for i in order {
+                by_payload[i] = s.put(&payloads[i]).is_ok();
+            }
+            by_payload
+        };
+        let forward = outcomes((0..payloads.len()).collect());
+        let reversed = outcomes((0..payloads.len()).rev().collect());
+        assert_eq!(forward, reversed, "fault decisions must not depend on call order");
+        assert!(forward.iter().any(|ok| !ok), "seed 0x1EAF should fire at p=0.35");
+        assert!(forward.iter().any(|ok| *ok), "and not fire everywhere");
+    }
+
+    #[test]
+    fn retries_of_the_same_key_draw_fresh_randomness() {
+        // With p=0.5 and many attempts of one payload, both outcomes must
+        // occur: the per-key attempt counter advances the draw.
+        let mut s = faulty(FaultPlan::transient(0.5), 99);
+        let results: Vec<bool> = (0..64).map(|_| s.put(b"same bytes").is_ok()).collect();
+        assert!(results.iter().any(|ok| *ok));
+        assert!(results.iter().any(|ok| !ok));
     }
 
     #[test]

@@ -15,13 +15,18 @@
 //!   detected and truncated away, records before it stay readable);
 //! * [`FaultStore`] — a deterministic fault-injecting decorator over any
 //!   store (transient/permanent errors, bit-flips, short writes, fsync
-//!   lies), for testing graceful degradation in the layers above.
+//!   lies), for testing graceful degradation in the layers above;
+//! * [`BlobIndex`] — a content-addressed index over sealed payloads, used
+//!   by the checkpoint write pipeline to turn repeat writes of unchanged
+//!   bytes into metadata-only operations.
 
 pub mod crc32;
+pub mod dedup;
 pub mod fault_store;
 pub mod file_store;
 pub mod memory_store;
 
+pub use dedup::{content_key, BlobIndex, ContentKey};
 pub use fault_store::{
     FaultKind, FaultLedger, FaultLedgerHandle, FaultOp, FaultPlan, FaultStore, InjectedFault,
 };

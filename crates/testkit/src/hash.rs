@@ -1,0 +1,221 @@
+//! XXH64 — the extremely fast non-cryptographic hash the paper cites for
+//! array-likes (§6.2), implemented in-repo per the workspace dependency
+//! policy. Reference: <https://github.com/Cyan4973/xxHash> (XXH64 spec).
+//!
+//! Lives in the testkit (rather than kishu-core, where it started) because
+//! the storage layer also needs it: the checkpoint write pipeline keys its
+//! content-addressed dedup index by XXH64 of the sealed payload, and the
+//! fault injector derives per-operation fault decisions from a content key
+//! so they are independent of thread interleaving. `kishu::xxh64`
+//! re-exports everything here, so existing imports keep working.
+
+const PRIME1: u64 = 0x9E3779B185EBCA87;
+const PRIME2: u64 = 0xC2B2AE3D27D4EB4F;
+const PRIME3: u64 = 0x165667B19E3779F9;
+const PRIME4: u64 = 0x85EBCA77C2B2AE63;
+const PRIME5: u64 = 0x27D4EB2F165667C5;
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val)).wrapping_mul(PRIME1).wrapping_add(PRIME4)
+}
+
+#[inline]
+fn read_u64(bytes: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8 bytes"))
+}
+
+#[inline]
+fn read_u32(bytes: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"))
+}
+
+/// XXH64 of `bytes` with the given `seed`.
+pub fn xxh64(bytes: &[u8], seed: u64) -> u64 {
+    let len = bytes.len();
+    let mut h: u64;
+    let mut i = 0usize;
+    if len >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME1).wrapping_add(PRIME2);
+        let mut v2 = seed.wrapping_add(PRIME2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME1);
+        while i + 32 <= len {
+            v1 = round(v1, read_u64(bytes, i));
+            v2 = round(v2, read_u64(bytes, i + 8));
+            v3 = round(v3, read_u64(bytes, i + 16));
+            v4 = round(v4, read_u64(bytes, i + 24));
+            i += 32;
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+    } else {
+        h = seed.wrapping_add(PRIME5);
+    }
+    h = h.wrapping_add(len as u64);
+    while i + 8 <= len {
+        h = (h ^ round(0, read_u64(bytes, i)))
+            .rotate_left(27)
+            .wrapping_mul(PRIME1)
+            .wrapping_add(PRIME4);
+        i += 8;
+    }
+    if i + 4 <= len {
+        h = (h ^ (read_u32(bytes, i) as u64).wrapping_mul(PRIME1))
+            .rotate_left(23)
+            .wrapping_mul(PRIME2)
+            .wrapping_add(PRIME3);
+        i += 4;
+    }
+    while i < len {
+        h = (h ^ (bytes[i] as u64).wrapping_mul(PRIME5))
+            .rotate_left(11)
+            .wrapping_mul(PRIME1);
+        i += 1;
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME3);
+    h ^= h >> 32;
+    h
+}
+
+/// XXH64 over an `f64` slice — the array fast path used by VarGraph nodes.
+///
+/// Streams 32-byte stripes (4 floats) straight from the values with **no
+/// intermediate byte buffer**: on a little-endian stream, reading a `u64`
+/// from an `f64`'s bytes is exactly `f64::to_bits`, so the float slice can
+/// be consumed as the XXH64 lane inputs directly. This is what makes the
+/// fast path actually fast on megabyte arrays (a buffer copy would cost
+/// more than the hash itself).
+pub fn xxh64_f64s(values: &[f64], seed: u64) -> u64 {
+    let len = values.len() * 8;
+    let mut h: u64;
+    let mut chunks = values.chunks_exact(4);
+    if values.len() >= 4 {
+        let mut v1 = seed.wrapping_add(PRIME1).wrapping_add(PRIME2);
+        let mut v2 = seed.wrapping_add(PRIME2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME1);
+        for c in chunks.by_ref() {
+            v1 = round(v1, c[0].to_bits());
+            v2 = round(v2, c[1].to_bits());
+            v3 = round(v3, c[2].to_bits());
+            v4 = round(v4, c[3].to_bits());
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+    } else {
+        h = seed.wrapping_add(PRIME5);
+    }
+    h = h.wrapping_add(len as u64);
+    // The tail is always whole 8-byte lanes (f64s), never 4- or 1-byte
+    // fragments.
+    for v in chunks.remainder() {
+        h = (h ^ round(0, v.to_bits()))
+            .rotate_left(27)
+            .wrapping_mul(PRIME1)
+            .wrapping_add(PRIME4);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME3);
+    h ^= h >> 32;
+    h
+}
+
+/// XXH64 of a string.
+pub fn xxh64_str(s: &str, seed: u64) -> u64 {
+    xxh64(s.as_bytes(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vectors() {
+        // Canonical XXH64 test vectors.
+        assert_eq!(xxh64(b"", 0), 0xEF46DB3751D8E999);
+        assert_eq!(xxh64(b"a", 0), 0xD24EC4F1A98C6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC2CF5AD770999);
+        assert_eq!(
+            xxh64(b"Nobody inspects the spammish repetition", 0),
+            0xFBCEA83C8A378BF1
+        );
+    }
+
+    #[test]
+    fn seeds_change_the_hash() {
+        assert_ne!(xxh64(b"data", 0), xxh64(b"data", 1));
+    }
+
+    #[test]
+    fn all_length_branches_covered() {
+        // Exercise <4, 4..8, 8..32, and >=32 byte paths.
+        for len in [0usize, 3, 5, 9, 31, 32, 33, 100] {
+            let data: Vec<u8> = (0..len as u8).collect();
+            let h1 = xxh64(&data, 7);
+            let h2 = xxh64(&data, 7);
+            assert_eq!(h1, h2);
+            if len > 0 {
+                let mut flipped = data.clone();
+                flipped[len / 2] ^= 0x80;
+                assert_ne!(xxh64(&flipped, 7), h1, "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_hash_detects_single_element_change() {
+        let mut values = vec![0.5; 1000];
+        let base = xxh64_f64s(&values, 0);
+        values[777] = 0.5000001;
+        assert_ne!(xxh64_f64s(&values, 0), base);
+    }
+}
+
+#[cfg(test)]
+mod f64_equivalence {
+    use super::*;
+    use crate::prelude::*;
+
+    proptest! {
+        /// The streaming f64 variant must agree exactly with hashing the
+        /// little-endian byte serialization (the reference definition).
+        #[test]
+        fn streaming_matches_byte_reference(
+            values in prop::collection::vec(any::<f64>().prop_filter("finite", |v| v.is_finite()), 0..64),
+            seed in any::<u64>(),
+        ) {
+            let mut bytes = Vec::with_capacity(values.len() * 8);
+            for v in &values {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            prop_assert_eq!(xxh64_f64s(&values, seed), xxh64(&bytes, seed));
+        }
+    }
+}

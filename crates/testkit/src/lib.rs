@@ -14,12 +14,19 @@
 //!   `serde_json` for checkpoint-graph persistence and report emission.
 //! * [`bench`] — a plain timing harness for `harness = false` benches;
 //!   replaces `criterion`.
+//! * [`hash`] — XXH64 (bytes, f64-slice, and string variants); shared by
+//!   VarGraph array hashing, the checkpoint dedup index, and keyed fault
+//!   decisions.
+//! * [`pool`] — a scoped-thread worker pool returning results in job
+//!   order; replaces `rayon`/`threadpool` for the checkpoint pipeline.
 //!
 //! The [`prelude`] mirrors `proptest::prelude` closely enough that porting
 //! a suite is a one-line import change.
 
 pub mod bench;
+pub mod hash;
 pub mod json;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 

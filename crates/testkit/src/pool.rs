@@ -1,0 +1,160 @@
+//! A small `std::thread` worker pool for fan-out/fan-in batches.
+//!
+//! The checkpoint write pipeline fans co-variable serialization and CRC
+//! sealing out over OS threads; per the workspace dependency policy that
+//! pool lives here rather than in a registry crate (`rayon`, `threadpool`).
+//!
+//! The design is deliberately minimal: [`run`] executes one *batch* of
+//! jobs on scoped threads and returns their results **in job order**, so
+//! callers get deterministic output regardless of which worker ran which
+//! job or in what order they finished. Scoped threads mean jobs may borrow
+//! from the caller's stack (the session hands out `&Heap` references), and
+//! the batch fully joins before `run` returns — no detached state, no
+//! channels to drain, and a panicking job propagates to the caller like it
+//! would have serially.
+//!
+//! Jobs are pulled from a shared cursor (work stealing at item
+//! granularity), so a batch of mixed-size jobs load-balances without any
+//! up-front partitioning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run every job in `jobs`, using up to `workers` OS threads, and return
+/// the results in job order.
+///
+/// * `workers <= 1` (or a batch of one job) runs everything inline on the
+///   calling thread — byte-for-byte the serial path, with no thread spawn.
+/// * Otherwise `min(workers, jobs.len())` scoped threads are spawned; each
+///   repeatedly claims the next unclaimed job index and stores its result
+///   into that slot.
+///
+/// A panicking job aborts the batch: remaining jobs may or may not run, and
+/// the panic resurfaces on the calling thread when the scope joins.
+pub fn run<T, F>(workers: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if workers <= 1 || n <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = slots[i]
+                        .lock()
+                        .expect("pool job slot poisoned")
+                        .take()
+                        .expect("pool job claimed twice");
+                    let out = job();
+                    *results[i].lock().expect("pool result slot poisoned") = Some(out);
+                })
+            })
+            .collect();
+        // Join explicitly so a job's panic resurfaces with its original
+        // payload rather than the scope's generic "a scoped thread panicked".
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("pool result slot poisoned")
+                .expect("pool job produced no result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for workers in [1, 2, 4, 9] {
+            let jobs: Vec<_> = (0..37u64).map(|i| move || i * i).collect();
+            let out = run(workers, jobs);
+            assert_eq!(out, (0..37u64).map(|i| i * i).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_batches_run_inline() {
+        let none: Vec<fn() -> u8> = Vec::new();
+        assert!(run(8, none).is_empty());
+        let tid = std::thread::current().id();
+        let out = run(8, vec![move || std::thread::current().id() == tid]);
+        assert_eq!(out, vec![true], "a one-job batch must not spawn");
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..100)
+            .map(|_| {
+                let c = &counter;
+                move || c.fetch_add(1, Ordering::Relaxed)
+            })
+            .collect();
+        let mut out = run(4, jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        out.sort_unstable();
+        assert_eq!(out, (0..100).collect::<Vec<_>>(), "each job saw a distinct count");
+    }
+
+    #[test]
+    fn jobs_can_borrow_from_the_caller() {
+        // The whole point of scoped threads: the session lends &Heap.
+        let data: Vec<u64> = (0..64).collect();
+        let jobs: Vec<_> = (0..8usize)
+            .map(|i| {
+                let d = &data;
+                move || d[i * 8..(i + 1) * 8].iter().sum::<u64>()
+            })
+            .collect();
+        let out = run(3, jobs);
+        assert_eq!(out.iter().sum::<u64>(), data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn parallel_sleeps_overlap() {
+        // Sanity that the pool actually runs jobs concurrently: 4 sleeps of
+        // 30ms must complete well under the 120ms serial floor.
+        let jobs: Vec<_> = (0..4)
+            .map(|_| || std::thread::sleep(std::time::Duration::from_millis(30)))
+            .collect();
+        let start = std::time::Instant::now();
+        run(4, jobs);
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(100),
+            "sleeps did not overlap: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn job_panics_propagate() {
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = vec![
+            Box::new(|| {}),
+            Box::new(|| panic!("boom")),
+            Box::new(|| {}),
+        ];
+        run(2, jobs);
+    }
+}

@@ -501,11 +501,11 @@ mod tests {
     use crate::all_notebooks;
     use kishu_libsim::Registry;
     use kishu_minipy::Interp;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn run_notebook(nb: &NotebookSpec) -> Interp {
         let mut interp = Interp::new();
-        kishu_libsim::install(&mut interp, Rc::new(Registry::standard()));
+        kishu_libsim::install(&mut interp, Arc::new(Registry::standard()));
         for (i, c) in nb.cells.iter().enumerate() {
             let out = interp
                 .run_cell(&c.src)
@@ -624,7 +624,7 @@ mod tests {
         // the variables.
         let nb = sklearn(0.1);
         let mut interp = Interp::new();
-        kishu_libsim::install(&mut interp, Rc::new(Registry::standard()));
+        kishu_libsim::install(&mut interp, Arc::new(Registry::standard()));
         let mut small_access = 0;
         let mut total = 0;
         for c in &nb.cells {

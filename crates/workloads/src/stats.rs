@@ -6,7 +6,7 @@
 //! for data-science notebooks and Figs 2/25 plot.
 
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use kishu::delta::DeltaDetector;
@@ -77,7 +77,7 @@ impl NotebookTrace {
 
 /// Run `nb` and characterize it.
 pub fn characterize(nb: &NotebookSpec) -> NotebookTrace {
-    let registry = Rc::new(Registry::standard());
+    let registry = Arc::new(Registry::standard());
     let mut interp = Interp::new();
     kishu_libsim::install(&mut interp, registry.clone());
     let mut detector = DeltaDetector::new(registry, true, false);

@@ -67,11 +67,11 @@ mod tests {
     use crate::notebooks;
     use kishu_libsim::Registry;
     use kishu_minipy::Interp;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn fresh() -> Interp {
         let mut i = Interp::new();
-        kishu_libsim::install(&mut i, Rc::new(Registry::standard()));
+        kishu_libsim::install(&mut i, Arc::new(Registry::standard()));
         i
     }
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Bench regression gate: compare a PR bench run against the committed
+# baseline and fail on any checkpoint/checkout latency more than
+# KISHU_BENCH_TOLERANCE (default 25%) slower. The comparison itself lives
+# in-tree (kishu-bench `pipeline::compare`, exposed as `repro
+# bench-compare`) so this stays a thin wrapper.
+#
+# usage: bench_gate.sh [BASELINE [PR]]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_baseline.json}"
+PR="${2:-target/BENCH_pr.json}"
+TOL="${KISHU_BENCH_TOLERANCE:-0.25}"
+
+if [ ! -f "$BASELINE" ]; then
+    echo "bench-gate: no baseline at $BASELINE; skipping." \
+         "Record one with: cargo run --release --offline -p kishu-bench --bin repro -- bench --out $BASELINE"
+    exit 0
+fi
+if [ ! -f "$PR" ]; then
+    echo "bench-gate: no PR metrics at $PR (run: KISHU_BENCH_QUICK=1 repro bench)" >&2
+    exit 1
+fi
+
+exec cargo run -q --release --offline -p kishu-bench --bin repro -- \
+    bench-compare "$BASELINE" "$PR" --tolerance "$TOL"

@@ -2,41 +2,86 @@
 # Tier-1 verification gate. The build is hermetic: every dependency is an
 # in-tree path crate (kishu-testkit replaces rand/proptest/serde_json/
 # criterion/parking_lot), so everything below runs fully offline.
+#
+# usage: ci.sh [--quick]
+#   --quick   build + one test pass + bench smoke/gate; skips the
+#             dual-worker-count test matrix and the pinned-seed fault pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== guard: no external registry dependencies =="
+QUICK=0
+if [ "${1:-}" = "--quick" ]; then
+    QUICK=1
+fi
+
+# Per-stage wall-time accounting.
+CI_T0=$(date +%s)
+STAGE_NAME=""
+STAGE_T0=$CI_T0
+stage() {
+    local now; now=$(date +%s)
+    if [ -n "$STAGE_NAME" ]; then
+        echo "-- $STAGE_NAME: $(( now - STAGE_T0 ))s"
+    fi
+    STAGE_NAME="${1:-}"
+    STAGE_T0=$now
+    if [ -n "$STAGE_NAME" ]; then
+        echo "== $STAGE_NAME =="
+    fi
+}
+
+stage "guard: no external registry dependencies"
 if grep -nE '^\s*(rand|proptest|criterion|crossbeam|parking_lot|bytes|serde|serde_json)[ .=]' \
     Cargo.toml crates/*/Cargo.toml; then
     echo "error: external registry dependency declared above" >&2
     exit 1
 fi
 
-echo "== cargo build --release --offline =="
+stage "cargo build --release --offline"
 cargo build --release --offline --workspace --benches
 
-echo "== cargo test --offline =="
-cargo test -q --offline --workspace
+if [ "$QUICK" = 1 ]; then
+    stage "cargo test --offline (quick: single pass)"
+    cargo test -q --offline --workspace
+else
+    # The checkpoint write pipeline must behave identically at every worker
+    # count (the serial path is the differential-testing oracle), so the
+    # whole suite runs twice: once serial, once at the parallel default.
+    stage "cargo test --offline (KISHU_CHECKPOINT_WORKERS=1, serial oracle)"
+    KISHU_CHECKPOINT_WORKERS=1 cargo test -q --offline --workspace
 
-# The fault suites also run inside the workspace pass with their built-in
-# seeds; this extra pass pins a second, independent seed so determinism
-# regressions (same seed, different faults) and seed-specific breakage
-# both surface.
-FAULT_SEED="${FAULT_SEED:-20250807}"
-echo "== fault injection & crash recovery (KISHU_TESTKIT_SEED=$FAULT_SEED) =="
-if ! { KISHU_TESTKIT_SEED="$FAULT_SEED" \
-        cargo test -q --offline -p kishu-repro --test crash_recovery \
-    && KISHU_TESTKIT_SEED="$FAULT_SEED" \
-        cargo test -q --offline -p kishu-bench --lib fault_sweep; }; then
-    echo "error: fault suite failed; replay with KISHU_TESTKIT_SEED=$FAULT_SEED" >&2
-    exit 1
+    stage "cargo test --offline (KISHU_CHECKPOINT_WORKERS=4, parallel pipeline)"
+    KISHU_CHECKPOINT_WORKERS=4 cargo test -q --offline --workspace
+fi
+
+stage "bench smoke (KISHU_BENCH_QUICK=1 -> target/BENCH_pr.json)"
+KISHU_BENCH_QUICK=1 cargo run -q --release --offline -p kishu-bench --bin repro -- bench
+
+stage "bench gate (vs BENCH_baseline.json)"
+./scripts/bench_gate.sh
+
+if [ "$QUICK" != 1 ]; then
+    # The fault suites also run inside the workspace passes with their
+    # built-in seeds; this extra pass pins a second, independent seed so
+    # determinism regressions (same seed, different faults) and
+    # seed-specific breakage both surface.
+    FAULT_SEED="${FAULT_SEED:-20250807}"
+    stage "fault injection & crash recovery (KISHU_TESTKIT_SEED=$FAULT_SEED)"
+    if ! { KISHU_TESTKIT_SEED="$FAULT_SEED" \
+            cargo test -q --offline -p kishu-repro --test crash_recovery \
+        && KISHU_TESTKIT_SEED="$FAULT_SEED" \
+            cargo test -q --offline -p kishu-bench --lib fault_sweep; }; then
+        echo "error: fault suite failed; replay with KISHU_TESTKIT_SEED=$FAULT_SEED" >&2
+        exit 1
+    fi
 fi
 
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "== cargo clippy =="
+    stage "cargo clippy"
     cargo clippy -q --offline --workspace --benches
 else
-    echo "== cargo clippy unavailable; skipping =="
+    stage "cargo clippy (unavailable; skipped)"
 fi
 
-echo "CI OK"
+stage ""
+echo "CI OK in $(( $(date +%s) - CI_T0 ))s$([ "$QUICK" = 1 ] && echo ' (quick)')"

@@ -2,7 +2,7 @@
 //! and §7.6 (rule-based read-only cells, primitive-list hashing) and for
 //! session persistence/resume.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use kishu::session::{KishuConfig, KishuSession};
 use kishu::vargraph::{VarGraph, VarGraphConfig};
@@ -96,7 +96,7 @@ fn rule_based_cells_reduce_tracking_on_inspection_heavy_notebooks() {
 
 #[test]
 fn list_hashing_collapses_nodes_but_keeps_detection() {
-    let registry = Rc::new(Registry::standard());
+    let registry = Arc::new(Registry::standard());
     let mut i = kishu_minipy::Interp::new();
     kishu_libsim::install(&mut i, registry.clone());
     let out = i
@@ -308,7 +308,7 @@ fn chained_reducers_over_the_full_registry() {
     // 5 classes stay unserializable (they model objects NO pickle library
     // handles, like live generators) — per-co-variable storage is what
     // makes the chain composable at all.
-    let registry = Rc::new(Registry::standard());
+    let registry = Arc::new(Registry::standard());
     let chain = ChainReducer::new(
         LibReducer::new(registry.clone()),
         LibReducer::new(registry.clone()),
