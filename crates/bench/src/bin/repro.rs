@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro all [--scale S] [--json FILE]
-//! repro table2|fig2|fig4|fig12|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline
+//! repro table2|fig2|fig4|fig12|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline|restore
 //! repro bench [--scale S] [--out FILE]        # bench-gate metrics JSON
 //! repro bench-compare BASELINE PR [--tolerance T]
 //! ```
@@ -14,7 +14,7 @@
 use std::io::Write as _;
 
 use kishu_bench::experiments::{
-    checkout, checkpoint, pipeline, robustness, sweeps, tracking, workload_tables,
+    checkout, checkpoint, pipeline, restore, robustness, sweeps, tracking, workload_tables,
 };
 use kishu_bench::report::Table;
 use kishu_testkit::json::Json;
@@ -59,7 +59,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table2|fig2|fig4|fig12|table4|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline]... [--scale S] [--json FILE]\n\
+                    "usage: repro [all|table2|fig2|fig4|fig12|table4|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline|restore]... [--scale S] [--json FILE]\n\
                             repro bench [--scale S] [--out FILE]\n\
                             repro bench-compare BASELINE PR [--tolerance T]"
                 );
@@ -185,6 +185,15 @@ fn main() {
         let start = std::time::Instant::now();
         let t = pipeline::table(scale);
         eprintln!("[repro] pipeline done in {:.1}s", start.elapsed().as_secs_f64());
+        println!("{}", t.render());
+        tables.push(t);
+    }
+    // The read-side sweep rides along with the same artifact group.
+    if want("table5") || want("restore") {
+        eprintln!("[repro] running restore (scale {scale}) ...");
+        let start = std::time::Instant::now();
+        let t = restore::table(scale);
+        eprintln!("[repro] restore done in {:.1}s", start.elapsed().as_secs_f64());
         println!("{}", t.render());
         tables.push(t);
     }

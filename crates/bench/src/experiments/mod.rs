@@ -3,6 +3,7 @@
 pub mod checkout;
 pub mod checkpoint;
 pub mod pipeline;
+pub mod restore;
 pub mod robustness;
 pub mod sweeps;
 pub mod tracking;

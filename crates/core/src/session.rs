@@ -8,16 +8,19 @@
 //! state by loading only the diverged co-variables — falling back to
 //! recursive recomputation (§5.3) when bytes are missing or refuse to load.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::io;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use kishu_kernel::{ObjId, ObjKind};
+use kishu_kernel::{simcost, ObjId, ObjKind};
 use kishu_libsim::{LibReducer, Registry};
 use kishu_minipy::{CellOutcome, Interp, RunError};
-use kishu_pickle::{dumps, loads};
-use kishu_storage::{content_key, crc32::crc32, BlobIndex, CheckpointStore, MemoryStore, StoreStats};
+use kishu_pickle::{dumps, loads_precharged};
+use kishu_storage::{
+    content_key, crc32::crc32, BlobCache, BlobId, BlobIndex, CheckpointStore, ContentKey,
+    MemoryStore, StoreStats,
+};
 
 use crate::covariable::CoVarKey;
 use crate::delta::DeltaDetector;
@@ -76,6 +79,23 @@ pub struct KishuConfig {
     /// logical serialized size; the new `bytes_written` metric counts only
     /// physical writes.
     pub dedup_blobs: bool,
+    /// Worker threads for the checkout read pipeline: CRC verification and
+    /// the simulated decode charge of every fetched blob fan out over a
+    /// [`kishu_testkit::pool`] batch; store reads and namespace application
+    /// stay sequential on the session thread (in plan order), so checkout
+    /// reports, fault ledgers, and the restored namespace are identical at
+    /// every worker count. `1` is the fully serial path — kept as the
+    /// differential-testing oracle. Defaults to the `KISHU_RESTORE_WORKERS`
+    /// environment variable when set, else `min(4, available cores)`.
+    pub restore_workers: usize,
+    /// Byte budget of the content-addressed checkout read cache
+    /// ([`kishu_storage::BlobCache`]); `0` disables it. Payloads that pass
+    /// their end-to-end CRC during a checkout are kept (LRU by bytes) under
+    /// the same content keys the write-side dedup index uses, so repeated
+    /// undo/redo over the same states skips the store read, the CRC pass,
+    /// and the decode charge. Defaults to the `KISHU_CHECKOUT_CACHE_BYTES`
+    /// environment variable when set, else 32 MiB.
+    pub checkout_cache_bytes: u64,
 }
 
 /// Default checkpoint pipeline width: `KISHU_CHECKPOINT_WORKERS` when set
@@ -92,6 +112,31 @@ pub fn default_checkpoint_workers() -> usize {
         .min(4)
 }
 
+/// Default restore pipeline width: `KISHU_RESTORE_WORKERS` when set
+/// (clamped to at least 1), else `min(4, available cores)`.
+pub fn default_restore_workers() -> usize {
+    if let Ok(v) = std::env::var("KISHU_RESTORE_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4)
+}
+
+/// Default checkout read-cache budget: `KISHU_CHECKOUT_CACHE_BYTES` when
+/// set (`0` disables the cache), else 32 MiB.
+pub fn default_checkout_cache_bytes() -> u64 {
+    if let Ok(v) = std::env::var("KISHU_CHECKOUT_CACHE_BYTES") {
+        if let Ok(n) = v.trim().parse::<u64>() {
+            return n;
+        }
+    }
+    32 * 1024 * 1024
+}
+
 impl Default for KishuConfig {
     fn default() -> Self {
         KishuConfig {
@@ -106,6 +151,8 @@ impl Default for KishuConfig {
             store_retries: 2,
             checkpoint_workers: default_checkpoint_workers(),
             dedup_blobs: true,
+            restore_workers: default_restore_workers(),
+            checkout_cache_bytes: default_checkout_cache_bytes(),
         }
     }
 }
@@ -160,6 +207,12 @@ pub struct CellMetrics {
 pub struct SessionMetrics {
     /// Per-cell entries in execution order.
     pub cells: Vec<CellMetrics>,
+    /// Blocklist checks that encountered an `External` object whose class
+    /// the registry could not name. Such an object cannot be cleared
+    /// against the blocklist, so the check conservatively treats it as
+    /// blocklisted (skip storage, rely on fallback recomputation) and
+    /// counts the anomaly here instead of silently passing it.
+    pub blocklist_anomalies: usize,
 }
 
 impl SessionMetrics {
@@ -258,6 +311,12 @@ pub struct CheckoutReport {
     /// Deferred think-time co-variables this checkout flushed before
     /// restoring (their write time is in `wall_time`).
     pub flushed: usize,
+    /// Among `loaded`, the co-variables whose payload was served from the
+    /// in-memory read cache — no store read, no CRC pass, no decode charge.
+    pub blobs_cached: usize,
+    /// `wall_time` in integer nanoseconds, for JSON report emission and the
+    /// bench comparator (no `Duration` parsing downstream).
+    pub co_wall_ns: u64,
 }
 
 /// A time-traveling notebook session.
@@ -279,6 +338,14 @@ pub struct KishuSession {
     /// Content-addressed index over sealed payloads written this session
     /// (advisory; empty after `resume`). See [`KishuConfig::dedup_blobs`].
     blob_index: BlobIndex,
+    /// Read-side cache of CRC-verified checkout payloads, keyed by the
+    /// content key of the *sealed* bytes (the same keys `blob_index` uses,
+    /// so payloads deduplicated on the way in are shared on the way out).
+    read_cache: BlobCache,
+    /// Blob id → content key of its sealed bytes, learned from successful
+    /// checkout reads, so a later read of the same blob can recognize a
+    /// cache hit before touching the store.
+    blob_keys: HashMap<BlobId, ContentKey>,
 }
 
 impl KishuSession {
@@ -293,6 +360,7 @@ impl KishuSession {
         vg_config.hash_arrays = config.hash_arrays;
         vg_config.hash_primitive_lists = config.hash_primitive_lists;
         let detector = DeltaDetector::with_config(vg_config, config.check_all);
+        let read_cache = BlobCache::new(config.checkout_cache_bytes);
         KishuSession {
             interp,
             reducer: LibReducer::new(registry.clone()),
@@ -305,6 +373,8 @@ impl KishuSession {
             pending: Vec::new(),
             last_gc_allocs: 0,
             blob_index: BlobIndex::new(),
+            read_cache,
+            blob_keys: HashMap::new(),
         }
     }
 
@@ -331,6 +401,11 @@ impl KishuSession {
     /// Storage accounting.
     pub fn store_stats(&self) -> StoreStats {
         self.store.stats()
+    }
+
+    /// Checkout read-cache counters (hits/misses/evictions/residency).
+    pub fn read_cache_stats(&self) -> kishu_storage::CacheStats {
+        self.read_cache.stats()
     }
 
     /// The checkpoint store (read-only), so differential tests can compare
@@ -739,22 +814,45 @@ impl KishuSession {
             .unwrap_or(false)
     }
 
-    fn is_blocklisted(&self, roots: &[ObjId]) -> bool {
+    /// Whether any object reachable from `roots` belongs to a blocklisted
+    /// class. One union traversal over all roots (a co-variable's roots
+    /// share most of their component, so per-root traversals would revisit
+    /// the shared structure once per root — quadratic on wide namespaces).
+    /// An `External` whose class the registry cannot name can't be cleared
+    /// against the blocklist: it is treated as blocklisted (the safe side —
+    /// skip storage, restore by fallback recomputation) and counted in
+    /// [`SessionMetrics::blocklist_anomalies`].
+    fn is_blocklisted(&mut self, roots: &[ObjId]) -> bool {
         if self.config.blocklist.is_empty() {
             return false;
         }
-        roots.iter().any(|r| {
-            self.interp.heap.reachable_from(*r).iter().any(|id| {
+        let mut anomaly = false;
+        let hit = self
+            .interp
+            .heap
+            .reachable_from_all(roots)
+            .iter()
+            .any(|id| {
                 if let ObjKind::External { class, .. } = self.interp.heap.kind(*id) {
-                    self.registry
-                        .get(*class)
-                        .map(|spec| self.config.blocklist.contains(spec.name))
-                        .unwrap_or(false)
+                    match self.registry.get(*class) {
+                        Some(spec) => self.config.blocklist.contains(spec.name),
+                        None => {
+                            anomaly = true;
+                            true
+                        }
+                    }
                 } else {
                     false
                 }
-            })
-        })
+            });
+        if anomaly {
+            self.metrics.blocklist_anomalies += 1;
+            eprintln!(
+                "kishu: blocklist check saw an external object with an \
+                 unregistered class; treating its co-variable as blocklisted"
+            );
+        }
+        hit
     }
 
     /// Incremental checkout (§5.2): restore the session to the state at
@@ -762,6 +860,19 @@ impl KishuSession {
     /// absent in the target, and leaving identical co-variables untouched
     /// in the live kernel. Missing/unloadable data is reconstructed by
     /// fallback recomputation (§5.3).
+    ///
+    /// The read side mirrors the checkpoint write pipeline's three phases:
+    ///
+    /// 1. **Fetch (session thread, plan order)** — every planned blob is
+    ///    read from the store sequentially (after a read-cache consult), so
+    ///    any injected-fault ledger is identical at every worker count;
+    /// 2. **Verify (worker pool)** — end-to-end CRC checks and the
+    ///    simulated decode charge fan out over
+    ///    [`KishuConfig::restore_workers`] threads, so cold-load sleeps
+    ///    overlap across blobs;
+    /// 3. **Apply (session thread, plan order)** — deserialization into the
+    ///    live heap, namespace binding, and fallback recomputation run
+    ///    sequentially, consuming the verified payloads in plan order.
     pub fn checkout(&mut self, target: NodeId) -> Result<CheckoutReport, KishuError> {
         let start = Instant::now();
         // A checkout-triggered think-time flush belongs to this checkout's
@@ -777,6 +888,7 @@ impl KishuSession {
         let mut loaded = Vec::new();
         let mut recomputed = Vec::new();
         let mut bytes_loaded = 0u64;
+        let mut blobs_cached = 0usize;
 
         // Removals must precede loads: a target co-variable's member names
         // can overlap a (differently-shaped) current co-variable slated for
@@ -789,6 +901,9 @@ impl KishuSession {
             }
         }
         let mut ctx = RestoreCtx::default();
+        // Phases 1+2: fetch serially, verify+charge on the pool.
+        self.prefetch_plan_blobs(&plan.load, &mut ctx);
+        // Phase 3: apply in plan order.
         for (key, version) in &plan.load {
             let (bindings, how) = self.materialize(key, *version, &mut ctx, 0)?;
             for (name, obj) in bindings {
@@ -796,8 +911,11 @@ impl KishuSession {
                 changed.insert(name);
             }
             match how {
-                Materialized::Loaded(n) => {
-                    bytes_loaded += n;
+                Materialized::Loaded { bytes, cached } => {
+                    bytes_loaded += bytes;
+                    if cached {
+                        blobs_cached += 1;
+                    }
                     loaded.push(key.clone());
                 }
                 Materialized::Recomputed => recomputed.push(key.clone()),
@@ -813,6 +931,7 @@ impl KishuSession {
         // would dominate sub-millisecond undos; the next cell execution
         // collects anyway.
 
+        let wall_time = start.elapsed();
         Ok(CheckoutReport {
             target,
             loaded,
@@ -820,10 +939,139 @@ impl KishuSession {
             removed: plan.remove,
             identical: plan.identical.len(),
             bytes_loaded,
-            wall_time: start.elapsed(),
+            wall_time,
             integrity_failures: ctx.integrity_failures,
             flushed,
+            blobs_cached,
+            co_wall_ns: wall_time.as_nanos() as u64,
         })
+    }
+
+    /// Phases 1+2 of the checkout read pipeline: read every planned blob
+    /// sequentially on the session thread (plan order — the determinism
+    /// rule that store operations never leave the session thread, extended
+    /// from writes to reads), then fan the CRC verification and the
+    /// simulated decode charge of the cold payloads out over the worker
+    /// pool. Outcomes land in `ctx.prefetched`, keyed like the memo, for
+    /// [`Self::materialize_uncached`] to consume in apply order.
+    ///
+    /// Failures are *recorded*, not counted: a prefetched blob that was
+    /// unreadable or corrupt only becomes an integrity failure when the
+    /// apply phase actually consumes it (a memoized materialization from an
+    /// earlier plan entry's recursion may supersede it first — exactly as
+    /// the serial path behaves).
+    fn prefetch_plan_blobs(&mut self, load: &[(CoVarKey, NodeId)], ctx: &mut RestoreCtx) {
+        enum Fetched {
+            /// Verified payload straight from the read cache.
+            Cached(Vec<u8>),
+            /// Sealed bytes from the store, pending CRC + charge.
+            Sealed { blob: BlobId, sealed: Vec<u8> },
+            /// Unreadable even after retries.
+            Failed,
+        }
+        // Phase 1: sequential cache consults and store reads, plan order.
+        let mut fetched: Vec<((Vec<String>, NodeId), Fetched)> = Vec::new();
+        for (key, version) in load {
+            let Some(sc) = self.graph.stored(key, *version) else { continue };
+            let Some(blob) = sc.blob else { continue };
+            let memo_key = (key.iter().cloned().collect::<Vec<String>>(), *version);
+            let hit = self
+                .blob_keys
+                .get(&blob)
+                .copied()
+                .and_then(|k| self.read_cache.get(k));
+            let f = match hit {
+                Some(payload) => Fetched::Cached(payload),
+                None => {
+                    let retries = self.config.store_retries;
+                    let store = &self.store;
+                    match retry_io(retries, || store.get(blob)) {
+                        Ok(sealed) => Fetched::Sealed { blob, sealed },
+                        Err(_) => Fetched::Failed,
+                    }
+                }
+            };
+            fetched.push((memo_key, f));
+        }
+        // Phase 2: CRC + decode charge of the cold payloads, fanned out.
+        // Results return in job order, so the outcome map below is
+        // identical at every worker count.
+        let jobs: Vec<_> = fetched
+            .iter()
+            .map(|(_, f)| {
+                move || match f {
+                    Fetched::Sealed { blob, sealed } => {
+                        let key = content_key(sealed);
+                        unseal_blob(sealed).map(|payload| {
+                            simcost::charge_bytes(payload.len() as u64, simcost::PICKLE_BPS);
+                            (payload.to_vec(), key, *blob)
+                        })
+                    }
+                    // Cache hits carry no worker-side work; failures have
+                    // nothing to verify.
+                    _ => None,
+                }
+            })
+            .collect();
+        let verified = kishu_testkit::pool::run(self.config.restore_workers.max(1), jobs);
+        for ((memo_key, f), v) in fetched.into_iter().zip(verified) {
+            let outcome = match (f, v) {
+                (Fetched::Cached(payload), _) => Prefetched::Ready {
+                    payload,
+                    cached: true,
+                    cache_key: None,
+                },
+                (Fetched::Sealed { .. }, Some((payload, key, blob))) => Prefetched::Ready {
+                    payload,
+                    cached: false,
+                    cache_key: Some((key, blob)),
+                },
+                // CRC failure or unreadable blob: both degrade to counted
+                // fallback recomputation at consumption time.
+                (Fetched::Sealed { .. }, None) | (Fetched::Failed, _) => Prefetched::Failed,
+            };
+            ctx.prefetched.insert(memo_key, outcome);
+        }
+    }
+
+    /// Fetch and verify one stored blob serially — the recursive-dependency
+    /// path of fallback recomputation, whose blobs are not in the checkout
+    /// plan and hence not prefetched. Same cache consult and the same
+    /// decode charge as the pipeline, paid inline on the session thread.
+    /// `None` means nothing is stored for this version (no blob id).
+    fn fetch_blob_serial(&mut self, key: &CoVarKey, version: NodeId) -> Option<Prefetched> {
+        let blob = self.graph.stored(key, version)?.blob?;
+        if let Some(payload) = self
+            .blob_keys
+            .get(&blob)
+            .copied()
+            .and_then(|k| self.read_cache.get(k))
+        {
+            return Some(Prefetched::Ready {
+                payload,
+                cached: true,
+                cache_key: None,
+            });
+        }
+        let retries = self.config.store_retries;
+        let store = &self.store;
+        match retry_io(retries, || store.get(blob)) {
+            Ok(sealed) => {
+                let ck = content_key(&sealed);
+                match unseal_blob(&sealed) {
+                    Some(payload) => {
+                        simcost::charge_bytes(payload.len() as u64, simcost::PICKLE_BPS);
+                        Some(Prefetched::Ready {
+                            payload: payload.to_vec(),
+                            cached: false,
+                            cache_key: Some((ck, blob)),
+                        })
+                    }
+                    None => Some(Prefetched::Failed),
+                }
+            }
+            Err(_) => Some(Prefetched::Failed),
+        }
     }
 
     /// Materialize one versioned co-variable: load its checkpoint if
@@ -842,8 +1090,13 @@ impl KishuSession {
         depth: usize,
     ) -> Result<(Vec<(String, ObjId)>, Materialized), KishuError> {
         let memo_key = (key.iter().cloned().collect::<Vec<String>>(), version);
-        if let Some(bindings) = ctx.memo.get(&memo_key) {
-            return Ok((bindings.clone(), Materialized::Recomputed));
+        if let Some((bindings, how)) = ctx.memo.get(&memo_key) {
+            // Report how the co-variable was *originally* materialized: a
+            // memo hit on something loaded from the store is still a load
+            // (its bytes were read, its CRC verified) — calling it
+            // "recomputed" would zero `bytes_loaded` for diamond plans and
+            // misattribute the restore work the report exists to measure.
+            return Ok((bindings.clone(), *how));
         }
         if depth > MAX_FALLBACK_DEPTH || !ctx.in_progress.insert(memo_key.clone()) {
             return Err(KishuError::RestoreFailed {
@@ -853,8 +1106,8 @@ impl KishuSession {
         }
         let result = self.materialize_uncached(key, version, ctx, depth);
         ctx.in_progress.remove(&memo_key);
-        if let Ok((bindings, _)) = &result {
-            ctx.memo.insert(memo_key, bindings.clone());
+        if let Ok((bindings, how)) = &result {
+            ctx.memo.insert(memo_key, (bindings.clone(), *how));
         }
         result
     }
@@ -866,35 +1119,57 @@ impl KishuSession {
         ctx: &mut RestoreCtx,
         depth: usize,
     ) -> Result<(Vec<(String, ObjId)>, Materialized), KishuError> {
-        let stored = self.graph.stored(key, version).cloned();
-        if let Some(sc) = &stored {
-            if let Some(blob) = sc.blob {
-                let got = {
-                    let store = &self.store;
-                    retry_io(self.config.store_retries, || store.get(blob))
-                };
-                match got {
-                    // The end-to-end CRC comes first: damaged bytes must
-                    // never reach the deserializer, where a lucky flip could
-                    // still parse into wrong state.
-                    Ok(blob) => match unseal_blob(&blob) {
-                        Some(bytes) => match loads(&mut self.interp.heap, bytes, &self.reducer) {
-                            Ok(roots) if roots.len() == key.len() => {
-                                let bindings = key.iter().cloned().zip(roots).collect();
-                                return Ok((bindings, Materialized::Loaded(bytes.len() as u64)));
-                            }
-                            // Deserialization failure (CRC-clean but
-                            // incompatible bytes): count it and fall
-                            // through to recomputation.
-                            _ => ctx.integrity_failures += 1,
-                        },
-                        // Failed the CRC: corrupt.
-                        None => ctx.integrity_failures += 1,
-                    },
-                    // Unreadable even after retries: count and fall back.
-                    Err(_) => ctx.integrity_failures += 1,
+        let memo_key = (key.iter().cloned().collect::<Vec<String>>(), version);
+        // Plan entries were fetched and CRC-verified by the pipeline;
+        // recursive dependencies of fallback recomputation were not, and
+        // fetch serially here. Either way the CRC already ran before the
+        // deserializer sees any bytes — damaged payloads must never reach
+        // it, where a lucky flip could still parse into wrong state.
+        let outcome = ctx
+            .prefetched
+            .remove(&memo_key)
+            .or_else(|| self.fetch_blob_serial(key, version));
+        match outcome {
+            Some(Prefetched::Ready {
+                payload,
+                cached,
+                cache_key,
+            }) => {
+                // The decode charge was already paid — on a worker (plan
+                // entries), inline (recursive fetches), or skipped as a
+                // cache hit — so decode without re-charging.
+                match loads_precharged(&mut self.interp.heap, &payload, &self.reducer) {
+                    Ok(roots) if roots.len() == key.len() => {
+                        if let Some((ck, blob)) = cache_key {
+                            // Only payloads that decoded cleanly are
+                            // admitted: the cache must never launder a
+                            // CRC-clean-but-undecodable blob into a "hit".
+                            self.read_cache.insert(ck, &payload);
+                            self.blob_keys.insert(blob, ck);
+                        }
+                        let bindings = key.iter().cloned().zip(roots).collect();
+                        return Ok((
+                            bindings,
+                            Materialized::Loaded {
+                                bytes: payload.len() as u64,
+                                cached,
+                            },
+                        ));
+                    }
+                    // Deserialization failure (CRC-clean but incompatible
+                    // bytes): count it and fall through to recomputation.
+                    _ => ctx.integrity_failures += 1,
                 }
             }
+            // Unreadable after retries, or failed the CRC: count and fall
+            // back. Counted here at consumption time — not at prefetch — so
+            // a plan entry already satisfied by an earlier entry's
+            // recursion never counts a failure it didn't consume.
+            Some(Prefetched::Failed) => ctx.integrity_failures += 1,
+            // Nothing stored for this version (blocklisted or over-budget
+            // at checkpoint time): straight to recomputation, not a
+            // failure.
+            None => {}
         }
         self.fallback_recompute(key, version, ctx, depth)
             .map(|b| (b, Materialized::Recomputed))
@@ -1002,18 +1277,45 @@ fn unseal_blob(blob: &[u8]) -> Option<&[u8]> {
     (crc32(payload) == crc).then_some(payload)
 }
 
+/// How one co-variable was materialized during a checkout. Memoized
+/// alongside the bindings so diamond dependencies re-report the original
+/// outcome instead of defaulting to "recomputed".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Materialized {
-    Loaded(u64),
+    Loaded {
+        /// Payload size actually decoded (counts toward `bytes_loaded`).
+        bytes: u64,
+        /// Whether the payload came from the read cache.
+        cached: bool,
+    },
     Recomputed,
 }
 
+/// A plan blob after the fetch+verify phases, waiting for the apply phase.
+enum Prefetched {
+    /// CRC-verified payload, decode charge already paid (or skipped as a
+    /// cache hit).
+    Ready {
+        payload: Vec<u8>,
+        /// Served from the read cache (no store read happened).
+        cached: bool,
+        /// Content key + blob id to admit into the cache after a clean
+        /// decode; `None` for cache hits (already resident).
+        cache_key: Option<(ContentKey, BlobId)>,
+    },
+    /// Unreadable after retries, or failed the end-to-end CRC.
+    Failed,
+}
+
 /// Per-checkout restoration state: memoized materializations, the current
-/// recursion path for real-cycle detection, and the count of store reads
-/// that failed and were swallowed by falling back to recomputation.
+/// recursion path for real-cycle detection, the pipeline's prefetched
+/// payloads, and the count of store reads that failed and were swallowed by
+/// falling back to recomputation.
 #[derive(Default)]
 struct RestoreCtx {
-    memo: std::collections::BTreeMap<(Vec<String>, NodeId), Vec<(String, ObjId)>>,
+    memo: std::collections::BTreeMap<(Vec<String>, NodeId), (Vec<(String, ObjId)>, Materialized)>,
     in_progress: BTreeSet<(Vec<String>, NodeId)>,
+    prefetched: std::collections::BTreeMap<(Vec<String>, NodeId), Prefetched>,
     integrity_failures: usize,
 }
 
@@ -1183,6 +1485,89 @@ mod tests {
         let report = run(&mut s, "wc = lib_obj('wordcloud.WordCloud', 32, 2)\n");
         let sc = &s.graph().node(report.node.expect("committed")).delta[0];
         assert!(sc.blob.is_none(), "blocklisted class is never stored");
+    }
+
+    #[test]
+    fn diamond_memo_hits_keep_loaded_attribution() {
+        // `zx` is stored; `ay` is blocklisted (never stored) and depends on
+        // `zx`. Plan order is key-sorted, so checkout materializes `ay`
+        // first: its recomputation recursively *loads* zx@t1 and memoizes
+        // it, and the top-level plan entry for `zx` then memo-hits. The
+        // report must still attribute `zx` to `loaded` with its real byte
+        // count — a memo hit must not launder a load into a recomputation.
+        let mut config = KishuConfig::default();
+        config.blocklist.insert("wordcloud.WordCloud".to_string());
+        let mut s = KishuSession::in_memory(config);
+        run(&mut s, "zx = [1, 2, 3]\n");
+        run(&mut s, "ay = [lib_obj('wordcloud.WordCloud', 32, 2), len(zx)]\n");
+        let target = s.head();
+        run(&mut s, "zx.append(4)\nay = 0\n");
+        let report = s.checkout(target).expect("checkout");
+        assert_eq!(report.recomputed, vec![key(&["ay"])]);
+        assert_eq!(report.loaded, vec![key(&["zx"])]);
+        assert!(report.bytes_loaded > 0, "zx's payload really was read and decoded");
+        assert_eq!(report.integrity_failures, 0);
+        assert_eq!(value(&mut s, "len(zx)"), "3");
+        assert_eq!(value(&mut s, "ay[1]"), "3");
+    }
+
+    #[test]
+    fn unregistered_external_class_is_a_counted_anomaly() {
+        let mut config = KishuConfig::default();
+        config.blocklist.insert("wordcloud.WordCloud".to_string());
+        let mut s = KishuSession::in_memory(config);
+        let bogus = s.interp.heap.alloc(kishu_kernel::ObjKind::External {
+            class: kishu_kernel::ClassId(u16::MAX),
+            attrs: Vec::new(),
+            payload: vec![0u8; 8],
+            epoch: 0,
+        });
+        assert!(
+            s.is_blocklisted(&[bogus]),
+            "a class the registry cannot name must fail safe (treated as blocklisted)"
+        );
+        assert_eq!(s.metrics().blocklist_anomalies, 1);
+        // A registered, non-blocklisted graph stays storable and does not
+        // count an anomaly.
+        let plain = s.interp.heap.alloc(kishu_kernel::ObjKind::Int(1));
+        assert!(!s.is_blocklisted(&[plain]));
+        assert_eq!(s.metrics().blocklist_anomalies, 1);
+    }
+
+    #[test]
+    fn warm_checkout_hits_the_read_cache() {
+        // Undo/redo over the same pair of states: the second visit to each
+        // state should be served from the read cache.
+        let mut s = session();
+        run(&mut s, "data = zeros(50000)\n");
+        let t1 = s.head();
+        run(&mut s, "data[0] = 1.0\n");
+        let t2 = s.head();
+        let cold = s.checkout(t1).expect("undo");
+        assert_eq!(cold.blobs_cached, 0, "first read of this blob is cold");
+        s.checkout(t2).expect("redo");
+        let warm = s.checkout(t1).expect("undo again");
+        assert_eq!(warm.loaded, cold.loaded);
+        assert_eq!(warm.bytes_loaded, cold.bytes_loaded);
+        assert_eq!(warm.blobs_cached, warm.loaded.len(), "second undo is all cache hits");
+        assert!(s.read_cache_stats().hits >= 1);
+        assert_eq!(value(&mut s, "data[0]"), "0.0");
+    }
+
+    #[test]
+    fn zero_cache_capacity_disables_read_caching() {
+        let mut config = KishuConfig::default();
+        config.checkout_cache_bytes = 0;
+        let mut s = KishuSession::in_memory(config);
+        run(&mut s, "data = zeros(50000)\n");
+        let t1 = s.head();
+        run(&mut s, "data[0] = 1.0\n");
+        let t2 = s.head();
+        s.checkout(t1).expect("undo");
+        s.checkout(t2).expect("redo");
+        let warm = s.checkout(t1).expect("undo again");
+        assert_eq!(warm.blobs_cached, 0, "cache disabled: every read is cold");
+        assert_eq!(s.read_cache_stats().hits, 0);
     }
 
     #[test]

@@ -188,6 +188,32 @@ impl Heap {
         order
     }
 
+    /// All objects reachable from *any* of `roots`, each visited once, in
+    /// BFS order from the roots jointly. One traversal with a shared seen
+    /// set — callers checking a property over a whole root set (e.g. the
+    /// checkpoint blocklist scan) must use this rather than unioning
+    /// per-root [`Self::reachable_from`] calls, which revisits every shared
+    /// substructure once per root that reaches it.
+    pub fn reachable_from_all(&self, roots: &[ObjId]) -> Vec<ObjId> {
+        let mut seen: HashSet<ObjId> = HashSet::new();
+        let mut order = Vec::new();
+        let mut queue = std::collections::VecDeque::new();
+        for &root in roots {
+            if seen.insert(root) {
+                queue.push_back(root);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for child in self.children(id) {
+                if seen.insert(child) {
+                    queue.push_back(child);
+                }
+            }
+        }
+        order
+    }
+
     /// Sum of shallow sizes of everything reachable from the given roots
     /// (shared objects counted once).
     pub fn deep_size(&self, roots: impl IntoIterator<Item = ObjId>) -> u64 {
@@ -373,6 +399,28 @@ mod tests {
         let reach = heap.reachable_from(ls);
         assert_eq!(reach.len(), 2); // list + shared string once
         assert!(reach.contains(&shared));
+    }
+
+    #[test]
+    fn union_reachability_visits_shared_structure_once() {
+        let mut heap = Heap::new();
+        let shared = heap.alloc(ObjKind::Str("s".into()));
+        let a = heap.alloc(ObjKind::List(vec![shared]));
+        let b = heap.alloc(ObjKind::List(vec![shared]));
+        let union = heap.reachable_from_all(&[a, b, a]);
+        assert_eq!(union.len(), 3, "a, b, and shared exactly once each");
+        // Same membership as unioning the per-root traversals.
+        let mut per_root: Vec<ObjId> = heap
+            .reachable_from(a)
+            .into_iter()
+            .chain(heap.reachable_from(b))
+            .collect();
+        per_root.sort_unstable();
+        per_root.dedup();
+        let mut got = union.clone();
+        got.sort_unstable();
+        assert_eq!(got, per_root);
+        assert!(heap.reachable_from_all(&[]).is_empty());
     }
 
     #[test]

@@ -32,9 +32,13 @@ pub const UPDATE_BPS: u64 = 100 * 1024 * 1024;
 /// checkpointing method pays at dump time. Calibrated to `pickle`-ing
 /// library state (model weights, dataframes) on commodity hardware;
 /// deliberately faster than [`TRAIN_BPS`] (recomputing state always costs
-/// more than serializing it) and slower than a raw `memcpy`. Deserialize
-/// is not charged: reads are dominated by store latency, and charging both
-/// sides would double-count the checkout path the paper measures.
+/// more than serializing it) and slower than a raw `memcpy`. The same rate
+/// is charged on deserialize (`loads`), uniformly for every method — a
+/// full-state restore pays for the whole state, an incremental one only
+/// for its delta. Kishu's parallel restore pipeline charges each cold
+/// payload on a worker thread instead (so decode sleeps overlap across
+/// blobs) and skips the charge on a read-cache hit — the "memory-speed
+/// undo/redo" the checkout cache exists for.
 pub const PICKLE_BPS: u64 = 64 * 1024 * 1024;
 
 /// Simulated cost of killing and restarting a kernel process.

@@ -54,7 +54,29 @@ pub fn dumps(heap: &Heap, roots: &[ObjId], reducer: &dyn Reducer) -> Result<Vec<
 
 /// Reconstruct a blob produced by [`dumps`] into `heap`, returning the new
 /// root handles in the same order they were passed to `dumps`.
+///
+/// Like [`dumps`], the simulated decode latency is charged here, uniformly
+/// for every method — a full-state restore (DumpSession) pays for the whole
+/// state, an incremental one (Kishu) only for its delta. Charging happens
+/// even when decoding later fails partway: the walk until the failure is
+/// real work, and charging up front keeps the cost independent of where a
+/// corrupt blob happens to break.
 pub fn loads(heap: &mut Heap, bytes: &[u8], reducer: &dyn Reducer) -> Result<Vec<ObjId>, PickleError> {
+    kishu_kernel::simcost::charge_bytes(bytes.len() as u64, kishu_kernel::simcost::PICKLE_BPS);
+    reader::Reader::new(bytes, reducer).load(heap)
+}
+
+/// [`loads`] without the simulated decode charge, for callers that already
+/// charged it elsewhere: the parallel checkout pipeline charges each cold
+/// payload on a worker thread (so decode sleeps overlap across blobs) and
+/// legitimately skips the charge on a read-cache hit (the decoded-warm
+/// payload is the thing the cache models). Everything else must call
+/// [`loads`].
+pub fn loads_precharged(
+    heap: &mut Heap,
+    bytes: &[u8],
+    reducer: &dyn Reducer,
+) -> Result<Vec<ObjId>, PickleError> {
     reader::Reader::new(bytes, reducer).load(heap)
 }
 

@@ -18,14 +18,19 @@
 //!   lies), for testing graceful degradation in the layers above;
 //! * [`BlobIndex`] — a content-addressed index over sealed payloads, used
 //!   by the checkpoint write pipeline to turn repeat writes of unchanged
-//!   bytes into metadata-only operations.
+//!   bytes into metadata-only operations;
+//! * [`BlobCache`] — the read-side twin: a bounded LRU cache of verified
+//!   checkout payloads keyed by the same content keys, so undo/redo
+//!   time-travel over the same states becomes memory-speed.
 
+pub mod cache;
 pub mod crc32;
 pub mod dedup;
 pub mod fault_store;
 pub mod file_store;
 pub mod memory_store;
 
+pub use cache::{BlobCache, CacheStats};
 pub use dedup::{content_key, BlobIndex, ContentKey};
 pub use fault_store::{
     FaultKind, FaultLedger, FaultLedgerHandle, FaultOp, FaultPlan, FaultStore, InjectedFault,

@@ -1,8 +1,10 @@
 //! A small `std::thread` worker pool for fan-out/fan-in batches.
 //!
-//! The checkpoint write pipeline fans co-variable serialization and CRC
-//! sealing out over OS threads; per the workspace dependency policy that
-//! pool lives here rather than in a registry crate (`rayon`, `threadpool`).
+//! Both checkpoint pipelines ride on this pool: the write side fans
+//! co-variable serialization and CRC sealing out over OS threads, and the
+//! checkout read side fans out CRC verification and the simulated decode
+//! charge of fetched payloads. Per the workspace dependency policy the pool
+//! lives here rather than in a registry crate (`rayon`, `threadpool`).
 //!
 //! The design is deliberately minimal: [`run`] executes one *batch* of
 //! jobs on scoped threads and returns their results **in job order**, so

@@ -44,14 +44,17 @@ if [ "$QUICK" = 1 ]; then
     stage "cargo test --offline (quick: single pass)"
     cargo test -q --offline --workspace
 else
-    # The checkpoint write pipeline must behave identically at every worker
-    # count (the serial path is the differential-testing oracle), so the
-    # whole suite runs twice: once serial, once at the parallel default.
-    stage "cargo test --offline (KISHU_CHECKPOINT_WORKERS=1, serial oracle)"
-    KISHU_CHECKPOINT_WORKERS=1 cargo test -q --offline --workspace
+    # Both pipelines (checkpoint writes and checkout reads) must behave
+    # identically at every worker count (the serial path is the
+    # differential-testing oracle), so the whole suite runs twice: once
+    # fully serial, once at the parallel defaults for both directions.
+    stage "cargo test --offline (CHECKPOINT/RESTORE_WORKERS=1, serial oracle)"
+    KISHU_CHECKPOINT_WORKERS=1 KISHU_RESTORE_WORKERS=1 \
+        cargo test -q --offline --workspace
 
-    stage "cargo test --offline (KISHU_CHECKPOINT_WORKERS=4, parallel pipeline)"
-    KISHU_CHECKPOINT_WORKERS=4 cargo test -q --offline --workspace
+    stage "cargo test --offline (CHECKPOINT/RESTORE_WORKERS=4, parallel pipelines)"
+    KISHU_CHECKPOINT_WORKERS=4 KISHU_RESTORE_WORKERS=4 \
+        cargo test -q --offline --workspace
 fi
 
 stage "bench smoke (KISHU_BENCH_QUICK=1 -> target/BENCH_pr.json)"
