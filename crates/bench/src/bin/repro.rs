@@ -5,7 +5,13 @@
 //! repro table2|fig2|fig4|fig12|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline|restore
 //! repro bench [--scale S] [--out FILE]        # bench-gate metrics JSON
 //! repro bench-compare BASELINE PR [--tolerance T]
+//! repro trace [--scale S] [--out FILE]        # Chrome-trace export of the pipelines
+//! repro trace-validate FILE                   # CI smoke: parse + expected spans
 //! ```
+//!
+//! Every experiment honors `KISHU_TRACE=path`: when set, the process-global
+//! trace records spans across the session/pipeline/storage stack and a
+//! Perfetto-loadable Chrome trace is written to `path` on exit.
 //!
 //! Outputs land under `target/` by default (`target/repro_output.txt`,
 //! `target/repro_results.json`, `target/BENCH_pr.json`) so a repro run
@@ -61,7 +67,10 @@ fn parse_args() -> Args {
                 println!(
                     "usage: repro [all|table2|fig2|fig4|fig12|table4|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline|restore]... [--scale S] [--json FILE]\n\
                             repro bench [--scale S] [--out FILE]\n\
-                            repro bench-compare BASELINE PR [--tolerance T]"
+                            repro bench-compare BASELINE PR [--tolerance T]\n\
+                            repro trace [--scale S] [--out FILE]\n\
+                            repro trace-validate FILE\n\
+                     KISHU_TRACE=path exports a Chrome trace from any of the above"
                 );
                 std::process::exit(0);
             }
@@ -93,6 +102,117 @@ fn write_file(path: &str, content: &str) {
         .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
 }
 
+/// Export the process-global trace to the `KISHU_TRACE` path. No-op unless
+/// the environment enabled tracing — which is the behavior-freedom
+/// invariant: with `KISHU_TRACE` unset, nothing here runs and no session
+/// recorded a span.
+fn export_global_trace() {
+    let trace = kishu_trace::global();
+    if !trace.is_enabled() {
+        return;
+    }
+    let Some(path) = kishu_trace::global_path() else { return };
+    write_file(&path, &(trace.chrome_json().dump() + "\n"));
+    eprintln!(
+        "[repro] wrote {path} ({} spans) — load it at ui.perfetto.dev",
+        trace.spans().len()
+    );
+}
+
+/// `repro trace`: run the representative write+read pipeline workloads with
+/// tracing force-enabled and export a Perfetto-loadable Chrome trace plus a
+/// human-readable summary.
+fn run_trace(args: &Args) -> ! {
+    let trace = kishu_trace::force_global_enabled();
+    let scale = if args.scale_set { args.scale } else { 0.1 };
+    eprintln!("[repro] trace (scale {scale}) ...");
+    let p = pipeline::run(scale, 4, true);
+    let r = restore::run(scale, 4, restore::CACHE_BYTES);
+    eprintln!(
+        "[repro] traced ckpt {:.2}ms (serialize {:.2}ms, write {:.2}ms); \
+         cold restore {:.2}ms (fetch {:.2}ms, verify {:.2}ms, apply {:.2}ms)",
+        p.ckpt_wall.as_secs_f64() * 1e3,
+        p.serialize_ns as f64 / 1e6,
+        p.write_ns as f64 / 1e6,
+        r.cold_wall.as_secs_f64() * 1e3,
+        r.cold_fetch_ns as f64 / 1e6,
+        r.cold_verify_ns as f64 / 1e6,
+        r.cold_apply_ns as f64 / 1e6,
+    );
+    println!("{}", trace.text_summary());
+    let path = args
+        .out
+        .clone()
+        .or_else(kishu_trace::global_path)
+        .unwrap_or_else(|| "target/trace.json".to_string());
+    write_file(&path, &(trace.chrome_json().dump() + "\n"));
+    eprintln!(
+        "[repro] wrote {path} ({} spans) — load it at ui.perfetto.dev",
+        trace.spans().len()
+    );
+    std::process::exit(0);
+}
+
+/// Span names any pipeline-exercising trace export must contain — the
+/// write path's classify → serialize/seal → write nest and the read path's
+/// fetch → verify/decode → apply nest, plus the storage and pickle leaves.
+const EXPECTED_TRACE_SPANS: &[&str] = &[
+    "cell.exec",
+    "ckpt",
+    "ckpt.classify",
+    "ckpt.serialize",
+    "ckpt.seal",
+    "ckpt.write",
+    "store.put",
+    "pickle.dumps",
+    "checkout",
+    "checkout.fetch",
+    "store.get",
+    "checkout.verify",
+    "checkout.decode",
+    "checkout.apply",
+    "pickle.loads",
+];
+
+/// `repro trace-validate FILE`: parse a Chrome-trace export and check the
+/// pipeline's expected span names are present (the CI trace smoke stage).
+fn run_trace_validate(args: &Args) -> ! {
+    let [_, path] = &args.targets[..] else {
+        die("trace-validate needs exactly one path");
+    };
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let json = Json::parse(&text).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let Some(Json::Array(events)) = json.get("traceEvents") else {
+        die(&format!("{path}: no traceEvents array"));
+    };
+    let names: std::collections::BTreeSet<&str> = events
+        .iter()
+        .filter_map(|e| match e.get("name") {
+            Some(Json::Str(s)) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    let missing: Vec<&&str> = EXPECTED_TRACE_SPANS
+        .iter()
+        .filter(|n| !names.contains(**n))
+        .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "trace-validate: {path} is missing expected spans {missing:?} \
+             ({} events, saw {names:?})",
+            events.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "trace-validate: OK ({} events, {} distinct span names)",
+        events.len(),
+        names.len()
+    );
+    std::process::exit(0);
+}
+
 /// `repro bench`: emit the CI gate's metrics JSON. `KISHU_BENCH_QUICK=1`
 /// shrinks the scale for the smoke stage unless `--scale` is explicit.
 fn run_bench(args: &Args) -> ! {
@@ -111,6 +231,7 @@ fn run_bench(args: &Args) -> ! {
     let path = args.out.clone().unwrap_or_else(|| "target/BENCH_pr.json".to_string());
     write_file(&path, &(json.pretty() + "\n"));
     eprintln!("[repro] wrote {path}");
+    export_global_trace();
     std::process::exit(0);
 }
 
@@ -152,6 +273,12 @@ fn main() {
     }
     if args.targets.first().is_some_and(|t| t == "bench-compare") {
         run_bench_compare(&args);
+    }
+    if args.targets.first().is_some_and(|t| t == "trace") {
+        run_trace(&args);
+    }
+    if args.targets.first().is_some_and(|t| t == "trace-validate") {
+        run_trace_validate(&args);
     }
     let everything = args.targets.iter().any(|t| t == "all");
     let want = |name: &str| everything || args.targets.iter().any(|t| t == name);
@@ -234,4 +361,5 @@ fn main() {
     let json = Json::Array(tables.iter().map(Table::to_json).collect()).pretty();
     write_file(&json_path, &json);
     eprintln!("[repro] wrote {json_path}");
+    export_global_trace();
 }

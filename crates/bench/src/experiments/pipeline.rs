@@ -14,7 +14,7 @@
 //! `BENCH_baseline.json`, and [`compare`] is the comparator itself (kept
 //! here, in-tree and unit-tested, so the shell stage stays a thin wrapper).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use kishu::session::{KishuConfig, KishuSession};
 use kishu_testkit::json::Json;
@@ -38,6 +38,11 @@ pub struct PipelineRun {
     pub bytes_written: u64,
     /// Co-variable writes deduplicated away.
     pub blobs_deduped: usize,
+    /// Of `ckpt_wall`, nanoseconds in serialize+seal (phase 2; summed from
+    /// the per-cell `ckpt.serialize` spans).
+    pub serialize_ns: u64,
+    /// Of `ckpt_wall`, nanoseconds in sequential store writes (phase 3).
+    pub write_ns: u64,
 }
 
 /// The build+repeat workload (see module docs). Deterministic: payloads
@@ -81,24 +86,29 @@ pub fn run(scale: f64, workers: usize, dedup: bool) -> PipelineRun {
     let bytes_logical = m.total_checkpoint_bytes();
     let bytes_written = m.total_bytes_written();
     let blobs_deduped = m.total_blobs_deduped();
+    let serialize_ns = m.total_serialize_ns();
+    let write_ns = m.total_write_ns();
     // Checkout latency: three undo/redo round trips to the first
-    // checkpoint, summed (amortizes timer noise for the CI gate).
+    // checkpoint, summed (amortizes timer noise for the CI gate). Derived
+    // from the reports' `co_wall_ns` — i.e. from the `checkout` spans — not
+    // from a second stopwatch around them.
     let head = s.head();
     let first = first_node.expect("auto checkpoint committed");
-    let start = Instant::now();
+    let mut checkout_ns = 0u64;
     for _ in 0..3 {
-        s.checkout(first).expect("undo");
-        s.checkout(head).expect("redo");
+        checkout_ns += s.checkout(first).expect("undo").co_wall_ns;
+        checkout_ns += s.checkout(head).expect("redo").co_wall_ns;
     }
-    let checkout_wall = start.elapsed();
     PipelineRun {
         workers,
         dedup,
         ckpt_wall,
-        checkout_wall,
+        checkout_wall: Duration::from_nanos(checkout_ns),
         bytes_logical,
         bytes_written,
         blobs_deduped,
+        serialize_ns,
+        write_ns,
     }
 }
 
@@ -189,6 +199,18 @@ pub fn bench_json(scale: f64) -> Json {
                     "checkout_cached_ns",
                     Json::Int(co_cached.warm_wall.as_nanos() as i64),
                 ),
+                // Per-phase breakdowns, derived from the same spans that
+                // produced the wall totals above (never double-clocked):
+                // write side splits serialize vs store-write, read side
+                // splits fetch vs verify vs apply.
+                ("ckpt_serialize_ns", Json::Int(par.serialize_ns as i64)),
+                ("ckpt_write_ns", Json::Int(par.write_ns as i64)),
+                ("checkout_fetch_ns", Json::Int(co_par.cold_fetch_ns as i64)),
+                (
+                    "checkout_verify_ns",
+                    Json::Int(co_par.cold_verify_ns as i64),
+                ),
+                ("checkout_apply_ns", Json::Int(co_par.cold_apply_ns as i64)),
             ]),
         ),
     ])
@@ -242,7 +264,14 @@ pub fn compare(baseline: &Json, pr: &Json, tolerance: f64) -> Result<Vec<String>
     }
     for (name, _) in &base {
         if !new.iter().any(|(k, _)| k == name) {
-            lines.push(format!("{name}: missing from PR run (not gated)"));
+            // A silently vanished metric would un-gate itself forever: make
+            // it loud so `bench_gate.sh` can surface it in the CI summary
+            // (it still does not fail the gate — renames and baseline
+            // refreshes are legitimate).
+            lines.push(format!(
+                "WARNING: {name}: present in baseline but missing from PR run \
+                 (metric vanished — renamed, dropped, or the run is incomplete)"
+            ));
         }
     }
     if regressions.is_empty() {
@@ -282,10 +311,44 @@ mod tests {
             "checkout_serial_ns",
             "checkout_parallel_ns",
             "checkout_cached_ns",
+            "ckpt_serialize_ns",
+            "ckpt_write_ns",
+            "checkout_fetch_ns",
+            "checkout_verify_ns",
+            "checkout_apply_ns",
         ] {
             let m = j.get("metrics").and_then(|m| m.get(key)).and_then(Json::as_f64);
             assert!(matches!(m, Some(n) if n > 0.0), "{key} missing");
         }
+        // Phase breakdowns are views over the wall totals, never larger.
+        let ns = |key: &str| j.get("metrics").and_then(|m| m.get(key)).and_then(Json::as_f64).unwrap();
+        assert!(ns("ckpt_serialize_ns") + ns("ckpt_write_ns") <= ns("ckpt_parallel_ns"));
+        assert!(
+            ns("checkout_fetch_ns") + ns("checkout_verify_ns") + ns("checkout_apply_ns")
+                <= ns("checkout_parallel_ns")
+        );
+    }
+
+    #[test]
+    fn vanished_metrics_warn_loudly_without_gating() {
+        let mk = |names: &[&str]| {
+            Json::obj(vec![(
+                "metrics",
+                Json::obj(names.iter().map(|n| (*n, Json::Float(50e6))).collect()),
+            )])
+        };
+        let lines = compare(
+            &mk(&["ckpt_parallel_ns", "old_metric_ns"]),
+            &mk(&["ckpt_parallel_ns"]),
+            0.25,
+        )
+        .expect("a vanished metric must not gate");
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.starts_with("WARNING:") && l.contains("old_metric_ns")),
+            "missing-metric warning absent: {lines:?}"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! [`super::pipeline::bench_json`] feeds the cold serial, cold parallel,
 //! and warm cached numbers to the CI bench gate.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use kishu::session::{KishuConfig, KishuSession};
 
@@ -42,6 +42,14 @@ pub struct RestoreRun {
     pub warm_cached: usize,
     /// Loads during the warm round trips (cached or not).
     pub warm_loaded: usize,
+    /// Of `cold_wall`, nanoseconds in phase 1 (sequential store reads).
+    pub cold_fetch_ns: u64,
+    /// Of `cold_wall`, nanoseconds in phase 2 (pooled CRC verify + decode
+    /// charge).
+    pub cold_verify_ns: u64,
+    /// Of `cold_wall`, nanoseconds in phase 3 (sequential deserialize +
+    /// namespace apply).
+    pub cold_apply_ns: u64,
 }
 
 /// Build cells of independent heavy co-variables (fan-out for the worker
@@ -81,31 +89,38 @@ pub fn run(scale: f64, workers: usize, cache_bytes: u64) -> RestoreRun {
     let head = s.head();
     let first = first_node.expect("auto checkpoint committed");
     // Cold round trip: the undo removes the later cells' co-variables, the
-    // redo loads every one of them back from the store.
-    let start = Instant::now();
+    // redo loads every one of them back from the store. All wall times are
+    // derived from the reports' `co_wall_ns` (the `checkout` spans) — no
+    // second stopwatch around the calls.
     let undo = s.checkout(first).expect("cold undo");
     let redo = s.checkout(head).expect("cold redo");
-    let cold_wall = start.elapsed();
+    let cold_wall = Duration::from_nanos(undo.co_wall_ns + redo.co_wall_ns);
     let bytes_loaded = undo.bytes_loaded + redo.bytes_loaded;
+    let cold_fetch_ns = undo.fetch_ns + redo.fetch_ns;
+    let cold_verify_ns = undo.verify_ns + redo.verify_ns;
+    let cold_apply_ns = undo.apply_ns + redo.apply_ns;
     // Warm round trips over the same pair of states.
     let mut warm_cached = 0usize;
     let mut warm_loaded = 0usize;
-    let start = Instant::now();
+    let mut warm_ns = 0u64;
     for _ in 0..3 {
         let u = s.checkout(first).expect("warm undo");
         let r = s.checkout(head).expect("warm redo");
         warm_cached += u.blobs_cached + r.blobs_cached;
         warm_loaded += u.loaded.len() + r.loaded.len();
+        warm_ns += u.co_wall_ns + r.co_wall_ns;
     }
-    let warm_wall = start.elapsed();
     RestoreRun {
         workers,
         cache_bytes,
         cold_wall,
-        warm_wall,
+        warm_wall: Duration::from_nanos(warm_ns),
         bytes_loaded,
         warm_cached,
         warm_loaded,
+        cold_fetch_ns,
+        cold_verify_ns,
+        cold_apply_ns,
     }
 }
 

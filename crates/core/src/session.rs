@@ -21,6 +21,7 @@ use kishu_storage::{
     content_key, crc32::crc32, BlobCache, BlobId, BlobIndex, CheckpointStore, ContentKey,
     MemoryStore, StoreStats,
 };
+use kishu_trace::Trace;
 
 use crate::covariable::CoVarKey;
 use crate::delta::DeltaDetector;
@@ -160,11 +161,14 @@ impl Default for KishuConfig {
 /// Run `op`, retrying up to `retries` extra times while it fails with a
 /// transient (`Interrupted`) error — the kind `FaultStore` injects for
 /// recoverable faults and real kernels return for interrupted syscalls.
-fn retry_io<T>(retries: u32, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+fn retry_io<T>(trace: &Trace, retries: u32, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
     let mut attempt = 0;
     loop {
         match op() {
-            Err(e) if e.kind() == io::ErrorKind::Interrupted && attempt < retries => attempt += 1,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted && attempt < retries => {
+                attempt += 1;
+                trace.counter("store.retry", 1);
+            }
             other => return other,
         }
     }
@@ -200,6 +204,12 @@ pub struct CellMetrics {
     /// payloads minus dedup hits). `checkpoint_bytes` keeps counting the
     /// logical serialized size.
     pub bytes_written: u64,
+    /// Of `checkpoint_time`, the nanoseconds spent serializing + sealing
+    /// (the `ckpt.serialize` span — phase 2 of the write pipeline).
+    pub serialize_ns: u64,
+    /// Of `checkpoint_time`, the nanoseconds spent on sequential store
+    /// writes (the `ckpt.write` span — phase 3).
+    pub write_ns: u64,
 }
 
 /// Aggregated session measurements.
@@ -251,6 +261,17 @@ impl SessionMetrics {
     pub fn total_bytes_written(&self) -> u64 {
         self.cells.iter().map(|c| c.bytes_written).sum()
     }
+
+    /// Total serialize+seal nanoseconds across cells (phase 2 of the write
+    /// pipeline, summed from the per-cell `ckpt.serialize` spans).
+    pub fn total_serialize_ns(&self) -> u64 {
+        self.cells.iter().map(|c| c.serialize_ns).sum()
+    }
+
+    /// Total sequential store-write nanoseconds across cells (phase 3).
+    pub fn total_write_ns(&self) -> u64 {
+        self.cells.iter().map(|c| c.write_ns).sum()
+    }
 }
 
 /// Result of [`KishuSession::run_cell`].
@@ -281,7 +302,15 @@ pub struct CellReport {
     pub bytes_written: u64,
     /// `checkpoint_time` in integer nanoseconds, for JSON report emission
     /// and the bench comparator (no `Duration` parsing downstream).
+    ///
+    /// Derived from the `ckpt` span (one clock read); `serialize_ns` and
+    /// `write_ns` below are its phase children, so the per-phase breakdown
+    /// never double-clocks the wall total.
     pub ckpt_wall_ns: u64,
+    /// Nanoseconds in serialize+seal (the `ckpt.serialize` span).
+    pub serialize_ns: u64,
+    /// Nanoseconds in sequential store writes (the `ckpt.write` span).
+    pub write_ns: u64,
 }
 
 /// Result of [`KishuSession::checkout`].
@@ -316,7 +345,19 @@ pub struct CheckoutReport {
     pub blobs_cached: usize,
     /// `wall_time` in integer nanoseconds, for JSON report emission and the
     /// bench comparator (no `Duration` parsing downstream).
+    ///
+    /// Derived from the `checkout` span (one clock read); the three phase
+    /// fields below come from its child spans, so fetch/verify/apply sum to
+    /// at most the wall total — never double-clocked.
     pub co_wall_ns: u64,
+    /// Nanoseconds in phase 1 (sequential store reads, `checkout.fetch`).
+    pub fetch_ns: u64,
+    /// Nanoseconds in phase 2 (pooled CRC verify + decode charge,
+    /// `checkout.verify`).
+    pub verify_ns: u64,
+    /// Nanoseconds in phase 3 (sequential deserialize + namespace apply,
+    /// `checkout.apply`, including any fallback recomputation).
+    pub apply_ns: u64,
 }
 
 /// A time-traveling notebook session.
@@ -346,13 +387,23 @@ pub struct KishuSession {
     /// checkout reads, so a later read of the same blob can recognize a
     /// cache hit before touching the store.
     blob_keys: HashMap<BlobId, ContentKey>,
+    /// Observability handle (spans + metrics). Disabled by default unless
+    /// `KISHU_TRACE` is set; never consulted for any decision, so enabling
+    /// it cannot change behavior. Span guards still time phases while
+    /// disabled — that is where the report's wall-clock fields come from.
+    trace: Trace,
 }
+
+/// Result of the serialize+seal phase: per co-variable, the sealed bytes
+/// plus the simulated serialize charge in ns (`None` = unserializable),
+/// and then the phase's wall time in nanoseconds.
+type SealedBatch = (Vec<Option<(Vec<u8>, u64)>>, u64);
 
 impl KishuSession {
     /// Attach Kishu to a fresh kernel session writing checkpoints to
     /// `store`. This is the `init` step of §3.2: the namespace patch is
     /// armed and the Checkpoint Graph initialized with its root.
-    pub fn new(store: Box<dyn CheckpointStore>, config: KishuConfig) -> Self {
+    pub fn new(mut store: Box<dyn CheckpointStore>, config: KishuConfig) -> Self {
         let registry = Arc::new(Registry::standard());
         let mut interp = Interp::new();
         kishu_libsim::install(&mut interp, registry.clone());
@@ -360,7 +411,10 @@ impl KishuSession {
         vg_config.hash_arrays = config.hash_arrays;
         vg_config.hash_primitive_lists = config.hash_primitive_lists;
         let detector = DeltaDetector::with_config(vg_config, config.check_all);
-        let read_cache = BlobCache::new(config.checkout_cache_bytes);
+        let mut read_cache = BlobCache::new(config.checkout_cache_bytes);
+        let trace = kishu_trace::global().clone();
+        store.attach_trace(&trace);
+        read_cache.attach_trace(&trace);
         KishuSession {
             interp,
             reducer: LibReducer::new(registry.clone()),
@@ -375,7 +429,22 @@ impl KishuSession {
             blob_index: BlobIndex::new(),
             read_cache,
             blob_keys: HashMap::new(),
+            trace,
         }
+    }
+
+    /// Replace the session's observability handle (and re-attach it to the
+    /// store and read cache). Purely observational — the differential suite
+    /// proves byte-identical behavior with tracing on and off.
+    pub fn set_trace(&mut self, trace: &Trace) {
+        self.trace = trace.clone();
+        self.store.attach_trace(&self.trace);
+        self.read_cache.attach_trace(&self.trace);
+    }
+
+    /// The session's observability handle.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Session with an in-memory checkpoint store.
@@ -414,7 +483,8 @@ impl KishuSession {
         self.store.as_ref()
     }
 
-    /// Serialize and seal a batch of co-variables, fanning the work out
+    /// Serialize and seal a batch of co-variables ([`SealedBatch`]),
+    /// fanning the work out
     /// over [`KishuConfig::checkpoint_workers`] threads. Results come back
     /// in input order regardless of scheduling — `None` marks an
     /// unserializable co-variable. Sealing (CRC framing) happens on the
@@ -423,21 +493,36 @@ impl KishuSession {
     /// Only CPU-side work runs here. Store writes stay on the session
     /// thread, in batch order, so the blob-id sequence, store bytes, and
     /// any injected-fault ledger are identical at every worker count.
-    fn dump_sealed_batch(&self, batch: &[(CoVarKey, Vec<ObjId>)]) -> Vec<Option<(Vec<u8>, u64)>> {
+    /// Returns the per-covariable results plus the phase's wall time in
+    /// nanoseconds (the `ckpt.serialize` span, measured whether or not
+    /// tracing is enabled).
+    fn dump_sealed_batch(&self, batch: &[(CoVarKey, Vec<ObjId>)]) -> SealedBatch {
         let heap = &self.interp.heap;
         let reducer = &self.reducer;
+        let mut sp = self.trace.span("ckpt.serialize");
+        sp.arg("covars", batch.len());
+        // Worker-side spans (`ckpt.seal` and the `pickle.dumps` underneath)
+        // parent under this phase span via `worker_scope`, which also works
+        // on the inline workers=1 path.
+        let parent = sp.id();
+        let trace = &self.trace;
         let jobs: Vec<_> = batch
             .iter()
             .map(|(_, roots)| {
                 move || {
-                    dumps(heap, roots, reducer).ok().map(|bytes| {
-                        let len = bytes.len() as u64;
-                        (seal_blob(&bytes), len)
+                    trace.worker_scope(parent, || {
+                        let mut sp = trace.span("ckpt.seal");
+                        dumps(heap, roots, reducer).ok().map(|bytes| {
+                            let len = bytes.len() as u64;
+                            sp.arg("bytes", len);
+                            (seal_blob(&bytes), len)
+                        })
                     })
                 }
             })
             .collect();
-        kishu_testkit::pool::run(self.config.checkpoint_workers.max(1), jobs)
+        let out = kishu_testkit::pool::run(self.config.checkpoint_workers.max(1), jobs);
+        (out, sp.end())
     }
 
     /// Write one sealed payload, deduplicating against the session's
@@ -445,15 +530,23 @@ impl KishuSession {
     /// write was deduplicated away. Only successful full writes are
     /// indexed — a dropped blob must never satisfy a later lookup.
     fn put_sealed(&mut self, sealed: &[u8]) -> io::Result<(u64, bool)> {
+        let mut sp = self.trace.span("store.put");
+        sp.arg("bytes", sealed.len());
+        self.trace.observe("blob.bytes", sealed.len() as u64);
         let key = self.config.dedup_blobs.then(|| content_key(sealed));
         if let Some(key) = key {
             if let Some(id) = self.blob_index.lookup(key) {
+                self.trace.counter("blob.dedup_hits", 1);
+                sp.arg("dedup", true);
+                sp.arg("blob", id);
                 return Ok((id, true));
             }
         }
         let retries = self.config.store_retries;
         let store = &mut self.store;
-        let id = retry_io(retries, || store.put(sealed))?;
+        let trace = &self.trace;
+        let id = retry_io(trace, retries, || store.put(sealed))?;
+        sp.arg("blob", id);
         if let Some(key) = key {
             self.blob_index.record(key, id);
         }
@@ -502,7 +595,7 @@ impl KishuSession {
             // An unreadable or corrupt blob must not abort resume: skip it
             // and keep scanning for an older intact graph snapshot. Only
             // transient errors are worth retrying first.
-            let blob = match retry_io(config.store_retries, || store.get(i)) {
+            let blob = match retry_io(kishu_trace::global(), config.store_retries, || store.get(i)) {
                 Ok(b) => b,
                 Err(_) => {
                     unreadable += 1;
@@ -565,7 +658,10 @@ impl KishuSession {
         // previous cell and must hit storage before this cell can mutate
         // the objects it references.
         self.flush_pending();
+        let exec_sp = self.trace.span("cell.exec");
         let outcome = self.interp.run_cell(src)?;
+        exec_sp.end();
+        let track_sp = self.trace.span("cell.track");
         let delta = if self.config.rule_based_cells && self.cell_provably_read_only(src) {
             // Rule-based fast path (§6.2 extension): the cell cannot have
             // changed the state, so skip VarGraph verification entirely and
@@ -589,8 +685,14 @@ impl KishuSession {
             self.detector
                 .on_cell(&self.interp.heap, &self.interp.globals, &outcome.access)
         };
+        track_sp.end();
 
-        let cp_start = Instant::now();
+        // The `ckpt` span *is* the checkpoint stopwatch: its `end()` below
+        // supplies `checkpoint_time`, so the report and the trace share one
+        // clock read.
+        let ckpt_sp = self.trace.span("ckpt");
+        let mut serialize_ns = 0u64;
+        let mut write_ns = 0u64;
         let mut checkpoint_bytes = 0u64;
         let mut bytes_written = 0u64;
         let mut blobs_dropped = 0usize;
@@ -626,6 +728,7 @@ impl KishuSession {
             // queue for the dump pipeline.
             let mut to_dump: Vec<(CoVarKey, Vec<ObjId>)> = Vec::new();
             let mut dump_slots: Vec<Option<usize>> = Vec::with_capacity(delta.updated.len());
+            let classify_sp = self.trace.span("ckpt.classify");
             for key in &delta.updated {
                 let roots: Vec<ObjId> = key
                     .iter()
@@ -646,13 +749,16 @@ impl KishuSession {
                     to_dump.push((key.clone(), roots));
                 }
             }
+            classify_sp.end();
             // Phase 2 (serialize + seal, worker pool): the CPU-heavy part,
             // fanned out; results return in delta order.
-            let dumped = self.dump_sealed_batch(&to_dump);
+            let (dumped, ser_ns) = self.dump_sealed_batch(&to_dump);
+            serialize_ns = ser_ns;
             // Phase 3 (write, session thread): sequential puts in delta
             // order keep blob ids, store bytes, and fault ledgers identical
             // at every worker count; dedup turns repeat payloads into
             // metadata-only entries.
+            let write_sp = self.trace.span("ckpt.write");
             for (record, slot) in stored.iter_mut().zip(&dump_slots) {
                 let Some(slot) = slot else { continue };
                 match &dumped[*slot] {
@@ -677,6 +783,7 @@ impl KishuSession {
                     None => blobs_dropped += 1,
                 }
             }
+            write_ns = write_sp.end();
             let node = self
                 .graph
                 .commit(src.to_string(), stored, delta.deleted.clone(), deps);
@@ -685,7 +792,11 @@ impl KishuSession {
                 self.pending.push((node, key));
             }
         }
-        let checkpoint_time = cp_start.elapsed();
+        if blobs_dropped > 0 {
+            self.trace.counter("blobs.dropped", blobs_dropped as u64);
+        }
+        let ckpt_wall_ns = ckpt_sp.end();
+        let checkpoint_time = Duration::from_nanos(ckpt_wall_ns);
 
         if self.config.gc_after_cell {
             // Amortize: a mark-sweep scans every slot ever allocated, so
@@ -710,6 +821,8 @@ impl KishuSession {
             blobs_dropped,
             blobs_deduped,
             bytes_written,
+            serialize_ns,
+            write_ns,
         });
 
         Ok(CellReport {
@@ -722,7 +835,9 @@ impl KishuSession {
             blobs_dropped,
             blobs_deduped,
             bytes_written,
-            ckpt_wall_ns: checkpoint_time.as_nanos() as u64,
+            ckpt_wall_ns,
+            serialize_ns,
+            write_ns,
         })
     }
 
@@ -739,10 +854,11 @@ impl KishuSession {
         if self.pending.is_empty() {
             return 0;
         }
-        let start = Instant::now();
+        let sp = self.trace.span("ckpt.flush");
         let flushed = self.flush_pending_inner();
+        let flush_ns = sp.end();
         if let Some(last) = self.metrics.cells.last_mut() {
-            last.checkpoint_time += start.elapsed();
+            last.checkpoint_time += Duration::from_nanos(flush_ns);
             // Note: flush bytes are reflected in store_stats(), not in the
             // originating cell's checkpoint_bytes (which measured the
             // user-visible latency).
@@ -775,7 +891,7 @@ impl KishuSession {
             batch.push((key, roots));
             nodes.push(node);
         }
-        let dumped = self.dump_sealed_batch(&batch);
+        let (dumped, _serialize_ns) = self.dump_sealed_batch(&batch);
         for (((key, _), node), dump) in batch.iter().zip(nodes).zip(dumped) {
             let dropped = match dump {
                 Some((sealed, len)) => match self.put_sealed(&sealed) {
@@ -789,6 +905,7 @@ impl KishuSession {
                 None => true,
             };
             if dropped {
+                self.trace.counter("blobs.dropped", 1);
                 if let Some(m) = self
                     .metrics
                     .cells
@@ -874,11 +991,17 @@ impl KishuSession {
     ///    live heap, namespace binding, and fallback recomputation run
     ///    sequentially, consuming the verified payloads in plan order.
     pub fn checkout(&mut self, target: NodeId) -> Result<CheckoutReport, KishuError> {
-        let start = Instant::now();
+        // The `checkout` span is the wall-time stopwatch: its `end()` below
+        // supplies `wall_time`/`co_wall_ns` — one clock read, shared by the
+        // report and the trace.
+        let mut co_sp = self.trace.span("checkout");
+        co_sp.arg("target", target.0);
         // A checkout-triggered think-time flush belongs to this checkout's
         // wall time, not to the originating cell's checkpoint_time — the
         // inner flush skips the per-cell attribution.
+        let flush_sp = self.trace.span("checkout.flush");
         let flushed = self.flush_pending_inner();
+        flush_sp.end();
         if !self.graph.contains(target) {
             return Err(KishuError::UnknownNode(target));
         }
@@ -904,6 +1027,7 @@ impl KishuSession {
         // Phases 1+2: fetch serially, verify+charge on the pool.
         self.prefetch_plan_blobs(&plan.load, &mut ctx);
         // Phase 3: apply in plan order.
+        let apply_sp = self.trace.span("checkout.apply");
         for (key, version) in &plan.load {
             let (bindings, how) = self.materialize(key, *version, &mut ctx, 0)?;
             for (name, obj) in bindings {
@@ -921,6 +1045,7 @@ impl KishuSession {
                 Materialized::Recomputed => recomputed.push(key.clone()),
             }
         }
+        let apply_ns = apply_sp.end();
 
         // Regenerate VarGraphs for what changed (§5.2 step 2) and move the
         // head (step 3).
@@ -931,7 +1056,7 @@ impl KishuSession {
         // would dominate sub-millisecond undos; the next cell execution
         // collects anyway.
 
-        let wall_time = start.elapsed();
+        let co_wall_ns = co_sp.end();
         Ok(CheckoutReport {
             target,
             loaded,
@@ -939,11 +1064,14 @@ impl KishuSession {
             removed: plan.remove,
             identical: plan.identical.len(),
             bytes_loaded,
-            wall_time,
+            wall_time: Duration::from_nanos(co_wall_ns),
             integrity_failures: ctx.integrity_failures,
             flushed,
             blobs_cached,
-            co_wall_ns: wall_time.as_nanos() as u64,
+            co_wall_ns,
+            fetch_ns: ctx.fetch_ns,
+            verify_ns: ctx.verify_ns,
+            apply_ns,
         })
     }
 
@@ -970,50 +1098,73 @@ impl KishuSession {
             Failed,
         }
         // Phase 1: sequential cache consults and store reads, plan order.
+        let fetch_sp = self.trace.span("checkout.fetch");
         let mut fetched: Vec<((Vec<String>, NodeId), Fetched)> = Vec::new();
         for (key, version) in load {
             let Some(sc) = self.graph.stored(key, *version) else { continue };
             let Some(blob) = sc.blob else { continue };
             let memo_key = (key.iter().cloned().collect::<Vec<String>>(), *version);
+            let mut sp = self.trace.span("store.get");
+            sp.arg("blob", blob);
             let hit = self
                 .blob_keys
                 .get(&blob)
                 .copied()
                 .and_then(|k| self.read_cache.get(k));
             let f = match hit {
-                Some(payload) => Fetched::Cached(payload),
+                Some(payload) => {
+                    sp.arg("cached", true);
+                    Fetched::Cached(payload)
+                }
                 None => {
                     let retries = self.config.store_retries;
                     let store = &self.store;
-                    match retry_io(retries, || store.get(blob)) {
-                        Ok(sealed) => Fetched::Sealed { blob, sealed },
-                        Err(_) => Fetched::Failed,
+                    let trace = &self.trace;
+                    match retry_io(trace, retries, || store.get(blob)) {
+                        Ok(sealed) => {
+                            sp.arg("bytes", sealed.len());
+                            Fetched::Sealed { blob, sealed }
+                        }
+                        Err(_) => {
+                            sp.arg("failed", true);
+                            Fetched::Failed
+                        }
                     }
                 }
             };
             fetched.push((memo_key, f));
         }
+        ctx.fetch_ns = fetch_sp.end();
         // Phase 2: CRC + decode charge of the cold payloads, fanned out.
         // Results return in job order, so the outcome map below is
         // identical at every worker count.
+        let verify_sp = self.trace.span("checkout.verify");
+        let parent = verify_sp.id();
+        let trace = &self.trace;
         let jobs: Vec<_> = fetched
             .iter()
             .map(|(_, f)| {
-                move || match f {
-                    Fetched::Sealed { blob, sealed } => {
-                        let key = content_key(sealed);
-                        unseal_blob(sealed).map(|payload| {
-                            simcost::charge_bytes(payload.len() as u64, simcost::PICKLE_BPS);
-                            (payload.to_vec(), key, *blob)
-                        })
-                    }
-                    // Cache hits carry no worker-side work; failures have
-                    // nothing to verify.
-                    _ => None,
+                move || {
+                    trace.worker_scope(parent, || match f {
+                        Fetched::Sealed { blob, sealed } => {
+                            let mut sp = trace.span("checkout.decode");
+                            sp.arg("blob", *blob);
+                            sp.arg("bytes", sealed.len());
+                            let key = content_key(sealed);
+                            unseal_blob(sealed).map(|payload| {
+                                simcost::charge_bytes(payload.len() as u64, simcost::PICKLE_BPS);
+                                (payload.to_vec(), key, *blob)
+                            })
+                        }
+                        // Cache hits carry no worker-side work; failures
+                        // have nothing to verify.
+                        _ => None,
+                    })
                 }
             })
             .collect();
         let verified = kishu_testkit::pool::run(self.config.restore_workers.max(1), jobs);
+        ctx.verify_ns = verify_sp.end();
         for ((memo_key, f), v) in fetched.into_iter().zip(verified) {
             let outcome = match (f, v) {
                 (Fetched::Cached(payload), _) => Prefetched::Ready {
@@ -1041,12 +1192,15 @@ impl KishuSession {
     /// `None` means nothing is stored for this version (no blob id).
     fn fetch_blob_serial(&mut self, key: &CoVarKey, version: NodeId) -> Option<Prefetched> {
         let blob = self.graph.stored(key, version)?.blob?;
+        let mut sp = self.trace.span("store.get");
+        sp.arg("blob", blob);
         if let Some(payload) = self
             .blob_keys
             .get(&blob)
             .copied()
             .and_then(|k| self.read_cache.get(k))
         {
+            sp.arg("cached", true);
             return Some(Prefetched::Ready {
                 payload,
                 cached: true,
@@ -1055,7 +1209,8 @@ impl KishuSession {
         }
         let retries = self.config.store_retries;
         let store = &self.store;
-        match retry_io(retries, || store.get(blob)) {
+        let trace = &self.trace;
+        match retry_io(trace, retries, || store.get(blob)) {
             Ok(sealed) => {
                 let ck = content_key(&sealed);
                 match unseal_blob(&sealed) {
@@ -1158,14 +1313,20 @@ impl KishuSession {
                     }
                     // Deserialization failure (CRC-clean but incompatible
                     // bytes): count it and fall through to recomputation.
-                    _ => ctx.integrity_failures += 1,
+                    _ => {
+                        ctx.integrity_failures += 1;
+                        self.trace.counter("integrity.failures", 1);
+                    }
                 }
             }
             // Unreadable after retries, or failed the CRC: count and fall
             // back. Counted here at consumption time — not at prefetch — so
             // a plan entry already satisfied by an earlier entry's
             // recursion never counts a failure it didn't consume.
-            Some(Prefetched::Failed) => ctx.integrity_failures += 1,
+            Some(Prefetched::Failed) => {
+                ctx.integrity_failures += 1;
+                self.trace.counter("integrity.failures", 1);
+            }
             // Nothing stored for this version (blocklisted or over-budget
             // at checkpoint time): straight to recomputation, not a
             // failure.
@@ -1185,6 +1346,10 @@ impl KishuSession {
         ctx: &mut RestoreCtx,
         depth: usize,
     ) -> Result<Vec<(String, ObjId)>, KishuError> {
+        let mut sp = self.trace.span("recompute");
+        sp.arg("covar", key.iter().cloned().collect::<Vec<_>>().join(","));
+        sp.arg("version", version.0);
+        let _sp = sp;
         let node = self.graph.node(version).clone();
         if node.cell_code.is_empty() {
             return Err(KishuError::RestoreFailed {
@@ -1317,12 +1482,18 @@ struct RestoreCtx {
     in_progress: BTreeSet<(Vec<String>, NodeId)>,
     prefetched: std::collections::BTreeMap<(Vec<String>, NodeId), Prefetched>,
     integrity_failures: usize,
+    /// Wall nanoseconds of the pipeline's fetch phase (the `checkout.fetch`
+    /// span), carried out to [`CheckoutReport::fetch_ns`].
+    fetch_ns: u64,
+    /// Wall nanoseconds of the pooled verify phase (`checkout.verify`).
+    verify_ns: u64,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::covariable::key;
+    use kishu_trace::SpanId;
 
     fn session() -> KishuSession {
         KishuSession::in_memory(KishuConfig::default())
@@ -1341,6 +1512,92 @@ mod tests {
     fn value(s: &mut KishuSession, expr: &str) -> String {
         let report = run(s, &format!("{expr}\n"));
         report.outcome.value_repr.unwrap_or_default()
+    }
+
+    #[test]
+    fn tracing_captures_the_pipeline_span_tree_and_derives_report_timings() {
+        let mut s = session();
+        let trace = Trace::enabled();
+        s.set_trace(&trace);
+        let r1 = run(&mut s, "x = list(range(100))\n");
+        run(&mut s, "x = list(range(50))\n");
+        // Back to the first version: `x` diverged, so its old blob must be
+        // fetched cold (store read, CRC verify, decode) and applied.
+        let co = s.checkout(r1.node.expect("node")).expect("checkout");
+        assert_eq!(co.loaded.len(), 1);
+
+        let spans = trace.spans();
+        let names: BTreeSet<&str> = spans.iter().map(|sp| sp.name.as_str()).collect();
+        for want in [
+            "cell.exec",
+            "cell.track",
+            "ckpt",
+            "ckpt.classify",
+            "ckpt.serialize",
+            "ckpt.seal",
+            "ckpt.write",
+            "store.put",
+            "pickle.dumps",
+            "checkout",
+            "checkout.flush",
+            "checkout.fetch",
+            "store.get",
+            "checkout.verify",
+            "checkout.decode",
+            "checkout.apply",
+            "pickle.loads",
+        ] {
+            assert!(names.contains(want), "missing span `{want}` in {names:?}");
+        }
+
+        // Worker-side spans parent under their phase span, regardless of
+        // which thread ran them.
+        let ids_of = |name: &str| -> Vec<SpanId> {
+            spans.iter().filter(|sp| sp.name == name).map(|sp| sp.id).collect()
+        };
+        let serialize_ids = ids_of("ckpt.serialize");
+        for seal in spans.iter().filter(|sp| sp.name == "ckpt.seal") {
+            assert!(
+                seal.parent.is_some_and(|p| serialize_ids.contains(&p)),
+                "ckpt.seal must nest under ckpt.serialize: {seal:?}"
+            );
+        }
+        let verify_ids = ids_of("checkout.verify");
+        for dec in spans.iter().filter(|sp| sp.name == "checkout.decode") {
+            assert!(
+                dec.parent.is_some_and(|p| verify_ids.contains(&p)),
+                "checkout.decode must nest under checkout.verify: {dec:?}"
+            );
+        }
+
+        // The report's wall clock *is* the span's duration (single clock
+        // read), and the phase breakdown never exceeds it.
+        let co_span = spans.iter().find(|sp| sp.name == "checkout").expect("checkout span");
+        assert_eq!(co_span.dur_ns, co.co_wall_ns);
+        assert!(co.fetch_ns + co.verify_ns + co.apply_ns <= co.co_wall_ns);
+        assert!(co.fetch_ns > 0 && co.verify_ns > 0 && co.apply_ns > 0);
+
+        // Metrics mirrored the same events the reports count: every sealed
+        // payload handed to `put_sealed` landed in the size histogram.
+        let m = trace.metrics();
+        let h = m.histogram("blob.bytes").expect("blob.bytes histogram");
+        assert!(h.count >= 2, "one put per diverged cell, got {}", h.count);
+    }
+
+    #[test]
+    fn reports_carry_phase_breakdowns_with_tracing_disabled() {
+        // Span guards time phases even when no trace is attached: the
+        // derived report fields must be populated either way.
+        let mut s = session();
+        assert!(!s.trace().is_enabled() || std::env::var("KISHU_TRACE").is_ok());
+        let r1 = run(&mut s, "x = list(range(100))\n");
+        let r2 = run(&mut s, "x = list(range(50))\n");
+        assert!(r2.serialize_ns > 0, "serialize phase must be timed");
+        assert!(r2.write_ns > 0, "write phase must be timed");
+        assert!(r2.serialize_ns + r2.write_ns <= r2.ckpt_wall_ns);
+        let co = s.checkout(r1.node.expect("node")).expect("checkout");
+        assert!(co.fetch_ns > 0 && co.verify_ns > 0 && co.apply_ns > 0);
+        assert!(co.fetch_ns + co.verify_ns + co.apply_ns <= co.co_wall_ns);
     }
 
     #[test]

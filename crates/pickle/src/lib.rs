@@ -41,7 +41,12 @@ use kishu_kernel::{Heap, ObjId};
 /// the closure contains an opaque object (generator) or a class whose
 /// reduction refuses.
 pub fn dumps(heap: &Heap, roots: &[ObjId], reducer: &dyn Reducer) -> Result<Vec<u8>, PickleError> {
+    // The span reaches the session's trace through the thread-current
+    // context (set by the enclosing session span, or `worker_scope` on a
+    // pool worker); no handle is threaded through this API.
+    let mut sp = kishu_trace::current_span("pickle.dumps");
     let blob = writer::Writer::new(heap, reducer).dump(roots)?;
+    sp.arg("bytes", blob.len());
     // Charge the simulated serialization latency (see `simcost`): the
     // synthetic encoder is orders of magnitude faster than pickling real
     // library state, which would make every dump look free and erase the
@@ -62,6 +67,8 @@ pub fn dumps(heap: &Heap, roots: &[ObjId], reducer: &dyn Reducer) -> Result<Vec<
 /// real work, and charging up front keeps the cost independent of where a
 /// corrupt blob happens to break.
 pub fn loads(heap: &mut Heap, bytes: &[u8], reducer: &dyn Reducer) -> Result<Vec<ObjId>, PickleError> {
+    let mut sp = kishu_trace::current_span("pickle.loads");
+    sp.arg("bytes", bytes.len());
     kishu_kernel::simcost::charge_bytes(bytes.len() as u64, kishu_kernel::simcost::PICKLE_BPS);
     reader::Reader::new(bytes, reducer).load(heap)
 }
@@ -77,6 +84,9 @@ pub fn loads_precharged(
     bytes: &[u8],
     reducer: &dyn Reducer,
 ) -> Result<Vec<ObjId>, PickleError> {
+    let mut sp = kishu_trace::current_span("pickle.loads");
+    sp.arg("bytes", bytes.len());
+    sp.arg("precharged", true);
     reader::Reader::new(bytes, reducer).load(heap)
 }
 

@@ -55,6 +55,8 @@ pub struct BlobCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    /// Observability only: hit/miss/eviction counters mirror into it.
+    trace: kishu_trace::Trace,
 }
 
 impl BlobCache {
@@ -76,6 +78,12 @@ impl BlobCache {
         self.capacity == 0
     }
 
+    /// Adopt an observability handle: hit/miss/eviction counters mirror
+    /// into its metrics registry. Purely observational.
+    pub fn attach_trace(&mut self, trace: &kishu_trace::Trace) {
+        self.trace = trace.clone();
+    }
+
     /// Look `key` up, refreshing its recency on a hit.
     pub fn get(&mut self, key: ContentKey) -> Option<Vec<u8>> {
         match self.entries.get_mut(&key) {
@@ -85,10 +93,12 @@ impl BlobCache {
                 *tick = self.tick;
                 self.recency.insert(self.tick, key);
                 self.hits += 1;
+                self.trace.counter("cache.hit", 1);
                 Some(payload.clone())
             }
             None => {
                 self.misses += 1;
+                self.trace.counter("cache.miss", 1);
                 None
             }
         }
@@ -118,6 +128,7 @@ impl BlobCache {
             let (_, evicted) = self.entries.remove(&victim).expect("recency/entries in sync");
             self.bytes -= evicted.len() as u64;
             self.evictions += 1;
+            self.trace.counter("cache.evict", 1);
         }
         self.tick += 1;
         self.entries.insert(key, (self.tick, payload.to_vec()));

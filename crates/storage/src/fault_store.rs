@@ -34,7 +34,9 @@ use std::io;
 use std::sync::{Arc, Mutex};
 
 use kishu_testkit::hash::xxh64;
+use kishu_testkit::json::Json;
 use kishu_testkit::rng::splitmix64;
+use kishu_trace::Trace;
 
 use crate::{BlobId, CheckpointStore, StoreStats};
 
@@ -139,6 +141,33 @@ pub struct InjectedFault {
     /// Blob involved, when the op names one (`get`, and `put`'s assigned id
     /// for short writes that reached the inner store).
     pub blob: Option<BlobId>,
+    /// The operation key the decision was drawn against (payload XXH64 for
+    /// `put`, blob id for `get`, 0 for `sync`) — with `attempt`, enough to
+    /// replay the exact [`keyed_draw`] without a debugger.
+    pub key: u64,
+    /// Per-`(op, key)` attempt number (0-based) the draw used.
+    pub attempt: u64,
+}
+
+impl InjectedFault {
+    /// JSON form of the ledger entry (keys rendered as hex so the full
+    /// `u64` key space survives JSON's i64 integers).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("op", Json::Str(format!("{:?}", self.op))),
+            ("kind", Json::Str(format!("{:?}", self.kind))),
+            ("op_index", Json::Int(self.op_index as i64)),
+            ("key", Json::Str(format!("{:#018x}", self.key))),
+            ("attempt", Json::Int(self.attempt as i64)),
+            (
+                "blob",
+                match self.blob {
+                    Some(b) => Json::Int(b as i64),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
 }
 
 /// Record of every fault injected plus how many operations ran, for test
@@ -171,6 +200,20 @@ impl FaultLedger {
     pub fn total(&self) -> usize {
         self.injected.len()
     }
+
+    /// JSON snapshot: operation counts plus every entry via
+    /// [`InjectedFault::to_json`].
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("puts", Json::Int(self.puts as i64)),
+            ("gets", Json::Int(self.gets as i64)),
+            ("syncs", Json::Int(self.syncs as i64)),
+            (
+                "injected",
+                Json::Array(self.injected.iter().map(InjectedFault::to_json).collect()),
+            ),
+        ])
+    }
 }
 
 /// Mutable wrapper state behind one lock: `get` takes `&self`, so the
@@ -199,6 +242,11 @@ pub struct FaultStore {
     plan: FaultPlan,
     seed: u64,
     state: Arc<Mutex<FaultState>>,
+    /// Observability only: spans annotate each op's key/attempt and, when a
+    /// fault fires, its kind and ledger index. Never consulted for any
+    /// decision (the keyed draws above are the whole decision procedure),
+    /// so attaching a trace cannot change behavior.
+    trace: Trace,
 }
 
 /// Cloneable handle onto a [`FaultStore`]'s ledger, for observing injected
@@ -244,6 +292,7 @@ impl FaultStore {
                 dead_ops: BTreeSet::new(),
                 sync_lied: false,
             })),
+            trace: Trace::disabled(),
         }
     }
 
@@ -329,17 +378,39 @@ impl FaultStore {
         // Positional entropy for bit-flips / short-write cuts, from its own
         // lane so it never perturbs the fire/don't-fire decisions.
         let entropy = keyed_draw(self.seed, op, key, attempt, Lane::Position);
-        Decision { index, kind, entropy }
+        Decision { index, key, attempt, kind, entropy }
     }
 
-    /// Append one injected fault to the ledger.
-    fn record(&self, op: FaultOp, kind: FaultKind, op_index: u64, blob: Option<BlobId>) {
-        self.state
-            .lock()
-            .expect("fault state poisoned")
-            .ledger
-            .injected
-            .push(InjectedFault { op, kind, op_index, blob });
+    /// Open the per-op observability span, annotated with the decision's
+    /// replay coordinates. A no-op guard when no trace is attached.
+    fn op_span(&self, name: &str, d: &Decision) -> kishu_trace::SpanGuard {
+        let mut sp = self.trace.span(name);
+        sp.arg("op_index", d.index);
+        sp.arg("key", format!("{:#018x}", d.key));
+        sp.arg("attempt", d.attempt);
+        sp
+    }
+
+    /// Append one injected fault to the ledger and return its entry index
+    /// (what faulted ops' spans link to).
+    fn record(&self, kind: FaultKind, d: &Decision, op: FaultOp, blob: Option<BlobId>) -> usize {
+        let mut st = self.state.lock().expect("fault state poisoned");
+        st.ledger.injected.push(InjectedFault {
+            op,
+            kind,
+            op_index: d.index,
+            blob,
+            key: d.key,
+            attempt: d.attempt,
+        });
+        st.ledger.injected.len() - 1
+    }
+
+    /// Annotate a faulted op's span with the failure mode and the ledger
+    /// entry it was recorded as.
+    fn fault_args(sp: &mut kishu_trace::SpanGuard, kind: FaultKind, ledger_index: usize) {
+        sp.arg("fault", format!("{kind:?}"));
+        sp.arg("ledger", ledger_index);
     }
 
     fn transient_err(op: FaultOp) -> io::Error {
@@ -357,6 +428,10 @@ impl FaultStore {
 /// One call's fault decision.
 struct Decision {
     index: u64,
+    /// The operation key the draws used (payload hash / blob id / 0).
+    key: u64,
+    /// The per-`(op, key)` attempt number the draws used.
+    attempt: u64,
     kind: Option<FaultKind>,
     /// Keyed positional randomness for the op's corruption mode (bit index
     /// for a flip, cut point for a short write).
@@ -394,15 +469,18 @@ fn unit(x: u64) -> f64 {
 
 /// Seed for hashing `put` payloads into operation keys; distinct from the
 /// dedup index's content seed so the two key spaces are unrelated.
-const PUT_KEY_SEED: u64 = 0xFA_017_5EED;
+const PUT_KEY_SEED: u64 = 0xFA0_175_EED;
 
 impl CheckpointStore for FaultStore {
     fn put(&mut self, bytes: &[u8]) -> io::Result<BlobId> {
         let d = self.decide(FaultOp::Put, xxh64(bytes, PUT_KEY_SEED));
+        let mut sp = self.op_span("fault.put", &d);
+        sp.arg("bytes", bytes.len());
         match d.kind {
             None => self.inner.put(bytes),
             Some(kind @ FaultKind::Transient) => {
-                self.record(FaultOp::Put, kind, d.index, None);
+                let idx = self.record(kind, &d, FaultOp::Put, None);
+                Self::fault_args(&mut sp, kind, idx);
                 Err(Self::transient_err(FaultOp::Put))
             }
             Some(kind @ FaultKind::ShortWrite) => {
@@ -411,7 +489,8 @@ impl CheckpointStore for FaultStore {
                 // error — it must never reference the garbage id.
                 let cut = if bytes.is_empty() { 0 } else { d.entropy as usize % bytes.len() };
                 let blob = self.inner.put(&bytes[..cut]).ok();
-                self.record(FaultOp::Put, kind, d.index, blob);
+                let idx = self.record(kind, &d, FaultOp::Put, blob);
+                Self::fault_args(&mut sp, kind, idx);
                 Err(Self::permanent_err(FaultOp::Put))
             }
             // Permanent (and any inapplicable scheduled kind): a hard,
@@ -424,7 +503,8 @@ impl CheckpointStore for FaultStore {
                         .dead_ops
                         .insert(FaultOp::Put);
                 }
-                self.record(FaultOp::Put, kind, d.index, None);
+                let idx = self.record(kind, &d, FaultOp::Put, None);
+                Self::fault_args(&mut sp, kind, idx);
                 Err(Self::permanent_err(FaultOp::Put))
             }
         }
@@ -432,10 +512,13 @@ impl CheckpointStore for FaultStore {
 
     fn get(&self, id: BlobId) -> io::Result<Vec<u8>> {
         let d = self.decide(FaultOp::Get, id);
+        let mut sp = self.op_span("fault.get", &d);
+        sp.arg("blob", id);
         match d.kind {
             None => self.inner.get(id),
             Some(kind @ FaultKind::Transient) => {
-                self.record(FaultOp::Get, kind, d.index, Some(id));
+                let idx = self.record(kind, &d, FaultOp::Get, Some(id));
+                Self::fault_args(&mut sp, kind, idx);
                 Err(Self::transient_err(FaultOp::Get))
             }
             Some(kind @ FaultKind::BitFlip) => {
@@ -444,7 +527,8 @@ impl CheckpointStore for FaultStore {
                     let bit = d.entropy as usize % (bytes.len() * 8);
                     bytes[bit / 8] ^= 1 << (bit % 8);
                 }
-                self.record(FaultOp::Get, kind, d.index, Some(id));
+                let idx = self.record(kind, &d, FaultOp::Get, Some(id));
+                Self::fault_args(&mut sp, kind, idx);
                 Ok(bytes)
             }
             Some(kind) => {
@@ -455,7 +539,8 @@ impl CheckpointStore for FaultStore {
                         .dead_blobs
                         .insert(id);
                 }
-                self.record(FaultOp::Get, kind, d.index, Some(id));
+                let idx = self.record(kind, &d, FaultOp::Get, Some(id));
+                Self::fault_args(&mut sp, kind, idx);
                 Err(Self::permanent_err(FaultOp::Get))
             }
         }
@@ -471,6 +556,7 @@ impl CheckpointStore for FaultStore {
 
     fn sync(&mut self) -> io::Result<()> {
         let d = self.decide(FaultOp::Sync, 0);
+        let mut sp = self.op_span("fault.sync", &d);
         match d.kind {
             None => {
                 let r = self.inner.sync();
@@ -480,12 +566,14 @@ impl CheckpointStore for FaultStore {
                 r
             }
             Some(kind @ FaultKind::Transient) => {
-                self.record(FaultOp::Sync, kind, d.index, None);
+                let idx = self.record(kind, &d, FaultOp::Sync, None);
+                Self::fault_args(&mut sp, kind, idx);
                 Err(Self::transient_err(FaultOp::Sync))
             }
             Some(kind @ FaultKind::FsyncLie) => {
                 self.state.lock().expect("fault state poisoned").sync_lied = true;
-                self.record(FaultOp::Sync, kind, d.index, None);
+                let idx = self.record(kind, &d, FaultOp::Sync, None);
+                Self::fault_args(&mut sp, kind, idx);
                 Ok(())
             }
             Some(kind) => {
@@ -496,10 +584,16 @@ impl CheckpointStore for FaultStore {
                         .dead_ops
                         .insert(FaultOp::Sync);
                 }
-                self.record(FaultOp::Sync, kind, d.index, None);
+                let idx = self.record(kind, &d, FaultOp::Sync, None);
+                Self::fault_args(&mut sp, kind, idx);
                 Err(Self::permanent_err(FaultOp::Sync))
             }
         }
+    }
+
+    fn attach_trace(&mut self, trace: &Trace) {
+        self.trace = trace.clone();
+        self.inner.attach_trace(trace);
     }
 }
 
@@ -620,6 +714,71 @@ mod tests {
         assert_eq!(s.ledger().count(FaultKind::FsyncLie), 1);
         s.sync().expect("real sync");
         assert!(!s.sync_lied(), "a real sync clears the lie");
+    }
+
+    #[test]
+    fn ledger_entries_carry_replay_coordinates_and_serialize() {
+        let mut s = faulty(FaultPlan::none().schedule(FaultOp::Get, 1, FaultKind::Transient), 5);
+        let id = s.put(b"payload").expect("put");
+        let _ = s.get(id); // get #0: clean (first attempt of key `id`)
+        let _ = s.get(id); // get #1: scheduled transient
+        let ledger = s.ledger();
+        assert_eq!(ledger.total(), 1);
+        let f = ledger.injected[0];
+        assert_eq!((f.op, f.kind), (FaultOp::Get, FaultKind::Transient));
+        assert_eq!(f.key, id, "get key is the blob id");
+        assert_eq!(f.attempt, 1, "second draw of the same key");
+        let dbg = format!("{f:?}");
+        assert!(dbg.contains("key") && dbg.contains("attempt"), "{dbg}");
+        let j = ledger.to_json();
+        assert_eq!(j.get("gets").and_then(Json::as_i64), Some(2));
+        let Some(Json::Array(injected)) = j.get("injected") else {
+            panic!("injected array")
+        };
+        let entry = &injected[0];
+        assert_eq!(entry.get("attempt").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            entry.get("key").and_then(Json::as_str),
+            Some(format!("{id:#018x}").as_str())
+        );
+        // Round-trips through the parser.
+        Json::parse(&j.dump()).expect("ledger json parses");
+    }
+
+    #[test]
+    fn faulted_op_spans_link_to_their_ledger_entry() {
+        let mut s = faulty(
+            FaultPlan::none()
+                .schedule(FaultOp::Put, 0, FaultKind::Transient)
+                .schedule(FaultOp::Put, 1, FaultKind::ShortWrite),
+            5,
+        );
+        let trace = Trace::enabled();
+        s.attach_trace(&trace);
+        assert!(s.put(b"abcdefgh").is_err());
+        assert!(s.put(b"abcdefgh").is_err());
+        s.put(b"abcdefgh").expect("third attempt clean");
+        let spans = trace.spans();
+        let puts: Vec<_> = spans.iter().filter(|sp| sp.name == "fault.put").collect();
+        assert_eq!(puts.len(), 3);
+        let arg = |sp: &kishu_trace::SpanRecord, k: &str| {
+            sp.args.iter().find(|(a, _)| a == k).map(|(_, v)| v.clone())
+        };
+        // Faulted ops carry the fault kind + ledger index; the clean one
+        // carries neither, but all three carry key/attempt.
+        assert_eq!(arg(puts[0], "ledger").as_deref(), Some("0"));
+        assert_eq!(arg(puts[0], "fault").as_deref(), Some("Transient"));
+        assert_eq!(arg(puts[1], "ledger").as_deref(), Some("1"));
+        assert_eq!(arg(puts[1], "fault").as_deref(), Some("ShortWrite"));
+        assert_eq!(arg(puts[2], "ledger"), None);
+        for (i, sp) in puts.iter().enumerate() {
+            assert_eq!(arg(sp, "attempt").as_deref(), Some(i.to_string().as_str()));
+            assert!(arg(sp, "key").is_some());
+        }
+        // The span annotations agree with the ledger they point into.
+        let ledger = s.ledger();
+        assert_eq!(ledger.injected[0].kind, FaultKind::Transient);
+        assert_eq!(ledger.injected[1].kind, FaultKind::ShortWrite);
     }
 
     #[test]

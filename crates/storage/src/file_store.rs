@@ -34,6 +34,7 @@ pub struct FileStore {
     end_offset: u64,
     payload_bytes: u64,
     sync_on_put: bool,
+    trace: kishu_trace::Trace,
 }
 
 impl std::fmt::Debug for FileStore {
@@ -61,6 +62,7 @@ impl FileStore {
             end_offset: 0,
             payload_bytes: 0,
             sync_on_put: false,
+            trace: kishu_trace::Trace::disabled(),
         })
     }
 
@@ -105,6 +107,7 @@ impl FileStore {
             end_offset: offset,
             payload_bytes,
             sync_on_put: false,
+            trace: kishu_trace::Trace::disabled(),
         })
     }
 
@@ -125,6 +128,9 @@ impl CheckpointStore for FileStore {
         if bytes.len() > u32::MAX as usize {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "blob too large"));
         }
+        let mut sp = self.trace.span("file.put");
+        sp.arg("bytes", bytes.len());
+        self.trace.observe("file.put_bytes", bytes.len() as u64);
         let crc = crc32(bytes);
         let mut record = Vec::with_capacity(HEADER_LEN as usize + bytes.len());
         record.push(RECORD_MARKER);
@@ -151,6 +157,10 @@ impl CheckpointStore for FileStore {
             .index
             .get(id as usize)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no blob {id}")))?;
+        let mut sp = self.trace.span("file.get");
+        sp.arg("blob", id);
+        sp.arg("bytes", len);
+        self.trace.observe("file.get_bytes", len as u64);
         // One locked seek+read covering the stored CRC and the payload, so
         // the integrity check and the bytes it checks come from the same
         // observation of the file.
@@ -184,7 +194,12 @@ impl CheckpointStore for FileStore {
     }
 
     fn sync(&mut self) -> io::Result<()> {
+        let _sp = self.trace.span("file.sync");
         self.file.lock().expect("store lock poisoned").sync_data()
+    }
+
+    fn attach_trace(&mut self, trace: &kishu_trace::Trace) {
+        self.trace = trace.clone();
     }
 }
 

@@ -77,6 +77,13 @@ pub trait CheckpointStore {
     /// Flush buffered writes to the durable medium (no-op for memory).
     fn sync(&mut self) -> io::Result<()>;
 
+    /// Adopt an observability handle: subsequent operations may record
+    /// spans/metrics into it. Purely observational — attaching a trace
+    /// (enabled or not) must never change any operation's outcome, and
+    /// the default implementation ignores it entirely. Decorators forward
+    /// to their inner store.
+    fn attach_trace(&mut self, _trace: &kishu_trace::Trace) {}
+
     /// Best-effort integrity sweep: attempt `get` on every blob and report
     /// which ids are currently unreadable (I/O error or failed integrity
     /// check). The default implementation scans; backends with cheaper

@@ -19,8 +19,24 @@
 //! granularity), so a batch of mixed-size jobs load-balances without any
 //! up-front partitioning.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+thread_local! {
+    /// Index of the pool worker this thread is, when it is one. Set once at
+    /// worker-thread start by [`run`]; `None` on every other thread
+    /// (including the caller running an inline batch).
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The 0-based index of the pool worker executing the current thread, or
+/// `None` when called off a pool worker (the session thread, an inline
+/// `workers <= 1` batch, or any unrelated thread). Tracing layers use this
+/// for thread attribution of spans recorded inside fan-out jobs.
+pub fn current_worker() -> Option<usize> {
+    WORKER_INDEX.with(Cell::get)
+}
 
 /// Run every job in `jobs`, using up to `workers` OS threads, and return
 /// the results in job order.
@@ -47,19 +63,23 @@ where
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers.min(n))
-            .map(|_| {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+            .map(|w| {
+                let (slots, results, cursor) = (&slots, &results, &cursor);
+                scope.spawn(move || {
+                    WORKER_INDEX.with(|idx| idx.set(Some(w)));
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let job = slots[i]
+                            .lock()
+                            .expect("pool job slot poisoned")
+                            .take()
+                            .expect("pool job claimed twice");
+                        let out = job();
+                        *results[i].lock().expect("pool result slot poisoned") = Some(out);
                     }
-                    let job = slots[i]
-                        .lock()
-                        .expect("pool job slot poisoned")
-                        .take()
-                        .expect("pool job claimed twice");
-                    let out = job();
-                    *results[i].lock().expect("pool result slot poisoned") = Some(out);
                 })
             })
             .collect();
@@ -147,6 +167,22 @@ mod tests {
             "sleeps did not overlap: {:?}",
             start.elapsed()
         );
+    }
+
+    #[test]
+    fn worker_index_is_visible_inside_jobs_and_nowhere_else() {
+        assert_eq!(current_worker(), None, "caller thread is not a worker");
+        // Inline path: jobs run on the caller, so no worker index.
+        let inline = run(1, vec![current_worker, current_worker]);
+        assert_eq!(inline, vec![None, None]);
+        // Parallel path: every job sees Some(w) with w < worker count.
+        let jobs: Vec<_> = (0..32).map(|_| current_worker).collect();
+        let seen = run(4, jobs);
+        assert!(
+            seen.iter().all(|w| matches!(w, Some(w) if *w < 4)),
+            "jobs off the pool saw no index: {seen:?}"
+        );
+        assert_eq!(current_worker(), None, "index must not leak to the caller");
     }
 
     #[test]

@@ -23,5 +23,27 @@ if [ ! -f "$PR" ]; then
     exit 1
 fi
 
-exec cargo run -q --release --offline -p kishu-bench --bin repro -- \
-    bench-compare "$BASELINE" "$PR" --tolerance "$TOL"
+# Capture the comparator's output (instead of exec'ing it away) so metrics
+# that exist in the baseline but vanished from the PR run surface as a loud
+# warning block — a silently dropped metric would otherwise un-gate itself
+# forever. Warnings never change the exit status; regressions still do.
+OUT="$(cargo run -q --release --offline -p kishu-bench --bin repro -- \
+    bench-compare "$BASELINE" "$PR" --tolerance "$TOL")" || STATUS=$?
+echo "$OUT"
+
+WARNINGS_FILE="target/bench_gate_warnings.txt"
+mkdir -p target
+if echo "$OUT" | grep "WARNING:" > "$WARNINGS_FILE"; then
+    echo ""
+    echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!"
+    echo "!! bench-gate: metric(s) present in baseline but MISSING from the"
+    echo "!! PR run (see $WARNINGS_FILE):"
+    sed 's/^/!!   /' "$WARNINGS_FILE"
+    echo "!! If a metric was intentionally renamed or dropped, refresh the"
+    echo "!! baseline: cargo run --release --offline -p kishu-bench --bin repro -- bench --out $BASELINE"
+    echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!"
+else
+    rm -f "$WARNINGS_FILE"
+fi
+
+exit "${STATUS:-0}"

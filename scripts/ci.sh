@@ -57,8 +57,13 @@ else
         cargo test -q --offline --workspace
 fi
 
-stage "bench smoke (KISHU_BENCH_QUICK=1 -> target/BENCH_pr.json)"
-KISHU_BENCH_QUICK=1 cargo run -q --release --offline -p kishu-bench --bin repro -- bench
+stage "bench smoke (KISHU_BENCH_QUICK=1, KISHU_TRACE -> target/trace.json)"
+KISHU_BENCH_QUICK=1 KISHU_TRACE=target/trace.json \
+    cargo run -q --release --offline -p kishu-bench --bin repro -- bench
+
+stage "trace smoke (validate target/trace.json parses with expected spans)"
+cargo run -q --release --offline -p kishu-bench --bin repro -- \
+    trace-validate target/trace.json
 
 stage "bench gate (vs BENCH_baseline.json)"
 ./scripts/bench_gate.sh
@@ -87,4 +92,8 @@ else
 fi
 
 stage ""
+if [ -s target/bench_gate_warnings.txt ]; then
+    echo "CI OK, WITH BENCH-GATE WARNINGS (metrics missing vs baseline):"
+    sed 's/^/  /' target/bench_gate_warnings.txt
+fi
 echo "CI OK in $(( $(date +%s) - CI_T0 ))s$([ "$QUICK" = 1 ] && echo ' (quick)')"

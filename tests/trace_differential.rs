@@ -1,0 +1,179 @@
+//! Differential suite proving the observability layer is **behavior-free**:
+//! running the exact same faulty, time-traveling session with tracing on
+//! and off produces
+//!
+//! 1. byte-identical store contents (blob ids, bytes, order);
+//! 2. identical per-cell and per-checkout reports (every non-timing field);
+//! 3. identical namespaces after every checkout;
+//! 4. an identical fault ledger — span recording must not perturb the
+//!    keyed fault decisions, their order, or their attempt numbers;
+//!
+//! at both the serial-oracle width (1 worker) and the parallel defaults
+//! (4 workers), covering the checkpoint write pipeline and the checkout
+//! read pipeline in one script. This is the invariant that makes
+//! `KISHU_TRACE=...` safe to flip on against any workload: the trace
+//! observes the run, it never participates in it.
+
+use std::collections::BTreeMap;
+
+use kishu::session::{CellReport, CheckoutReport, KishuConfig, KishuSession};
+use kishu::NodeId;
+use kishu_minipy::repr::repr;
+use kishu_storage::{FaultLedger, FaultPlan, FaultStore, MemoryStore};
+use kishu_trace::Trace;
+
+const FAULT_SEED: u64 = 0x7ACE_D1FF;
+
+/// A fixed notebook exercising both pipelines: multi-co-variable cells
+/// (fan-out for the worker pool), in-place mutations, a byte-identical
+/// re-creation (dedup bait), shared structure, and a delete.
+fn cells() -> Vec<&'static str> {
+    vec![
+        "x0 = list(range(40))\nx1 = list(range(50))\nx2 = list(range(60))\n",
+        "y0 = [1, 2, 3]\ny1 = [4, 5, 6]\n",
+        "x0.append(99)\n",
+        "z = [7, 8, 9]\n",
+        "y0 = [1, 2, 3]\n",
+        "w0 = list(range(70))\nw1 = list(range(80))\n",
+        "del x2\n",
+        "x1.append(1)\n",
+    ]
+}
+
+/// Every non-timing field of a [`CellReport`].
+fn cell_fingerprint(r: &CellReport) -> String {
+    format!(
+        "node={:?} updated={:?} bytes={} written={} dropped={} deduped={}",
+        r.node, r.updated, r.checkpoint_bytes, r.bytes_written, r.blobs_dropped, r.blobs_deduped
+    )
+}
+
+/// Every non-timing field of a [`CheckoutReport`].
+fn checkout_fingerprint(r: &CheckoutReport) -> String {
+    format!(
+        "target={:?} loaded={:?} recomputed={:?} removed={:?} identical={} bytes={} \
+         integrity={} flushed={} cached={}",
+        r.target,
+        r.loaded,
+        r.recomputed,
+        r.removed,
+        r.identical,
+        r.bytes_loaded,
+        r.integrity_failures,
+        r.flushed,
+        r.blobs_cached
+    )
+}
+
+fn namespace(s: &KishuSession) -> BTreeMap<String, String> {
+    s.interp
+        .globals
+        .bindings()
+        .map(|(n, o)| (n.to_string(), repr(&s.interp.heap, o)))
+        .collect()
+}
+
+struct Run {
+    cell_fps: Vec<String>,
+    checkout_fps: Vec<String>,
+    namespaces: Vec<BTreeMap<String, String>>,
+    ledger: FaultLedger,
+    blobs: Vec<Option<Vec<u8>>>,
+    spans_recorded: usize,
+}
+
+/// One full write+time-travel session over a fault-injecting store, with
+/// tracing on or off. Everything returned is a non-timing observable.
+fn run_session(workers: usize, traced: bool) -> Run {
+    let plan = FaultPlan {
+        put_transient_p: 0.10,
+        get_transient_p: 0.08,
+        short_write_p: 0.03,
+        bit_flip_p: 0.03,
+        ..FaultPlan::none()
+    };
+    let fault_store = FaultStore::new(Box::new(MemoryStore::new()), plan, FAULT_SEED);
+    let ledger_handle = fault_store.ledger_handle();
+    let config = KishuConfig {
+        checkpoint_workers: workers,
+        restore_workers: workers,
+        ..KishuConfig::default()
+    };
+    let mut s = KishuSession::new(Box::new(fault_store), config);
+    let trace = if traced { Trace::enabled() } else { Trace::disabled() };
+    s.set_trace(&trace);
+
+    let mut cell_fps = Vec::new();
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for cell in cells() {
+        let r = s.run_cell(cell).expect("scripted cells parse");
+        cell_fps.push(cell_fingerprint(&r));
+        if let Some(n) = r.node {
+            nodes.push(n);
+        }
+    }
+    // Time-travel across the whole history: cold undos, redos, and a
+    // second round trip that exercises the read cache and memoized
+    // fallback recomputation under injected read faults.
+    let head = s.head();
+    let mut checkout_fps = Vec::new();
+    let mut namespaces = Vec::new();
+    for target in [nodes[1], head, nodes[3], nodes[1], head] {
+        let r = s.checkout(target).expect("checkout degrades, never fails");
+        checkout_fps.push(checkout_fingerprint(&r));
+        namespaces.push(namespace(&s));
+    }
+    let ledger = ledger_handle.snapshot();
+    // Store dump last: these reads also pass through the fault injector,
+    // deterministically (keyed decisions), so `Option` is the fingerprint.
+    let store = s.store();
+    let blobs: Vec<Option<Vec<u8>>> =
+        (0..store.blob_count()).map(|i| store.get(i).ok()).collect();
+    Run {
+        cell_fps,
+        checkout_fps,
+        namespaces,
+        ledger,
+        blobs,
+        spans_recorded: trace.spans().len(),
+    }
+}
+
+#[test]
+fn tracing_is_behavior_free_for_both_pipelines_at_1_and_4_workers() {
+    for workers in [1usize, 4] {
+        let off = run_session(workers, false);
+        let on = run_session(workers, true);
+        assert_eq!(off.cell_fps, on.cell_fps, "cell reports diverged at workers={workers}");
+        assert_eq!(
+            off.checkout_fps, on.checkout_fps,
+            "checkout reports diverged at workers={workers}"
+        );
+        assert_eq!(
+            off.namespaces, on.namespaces,
+            "restored namespaces diverged at workers={workers}"
+        );
+        assert_eq!(off.ledger, on.ledger, "fault ledger diverged at workers={workers}");
+        assert_eq!(off.blobs, on.blobs, "store bytes diverged at workers={workers}");
+        // And the trace actually observed the run it did not perturb.
+        assert_eq!(off.spans_recorded, 0, "disabled trace must record nothing");
+        assert!(
+            on.spans_recorded > 0,
+            "enabled trace must record spans at workers={workers}"
+        );
+    }
+}
+
+/// The traced and untraced runs agree *with each other across widths* too:
+/// one combined transcript (serial+untraced vs parallel+traced) — the
+/// strongest composition of the two invariants.
+#[test]
+fn traced_parallel_run_matches_the_untraced_serial_oracle() {
+    let oracle = run_session(1, false);
+    let traced_parallel = run_session(4, true);
+    assert_eq!(oracle.cell_fps, traced_parallel.cell_fps);
+    assert_eq!(oracle.checkout_fps, traced_parallel.checkout_fps);
+    assert_eq!(oracle.namespaces, traced_parallel.namespaces);
+    assert_eq!(oracle.ledger, traced_parallel.ledger);
+    assert_eq!(oracle.blobs, traced_parallel.blobs);
+}
