@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro all [--scale S] [--json FILE]
-//! repro table2|fig2|fig4|fig12|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline|restore
+//! repro table2|fig2|fig4|fig12|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline|restore|multi
 //! repro bench [--scale S] [--out FILE]        # bench-gate metrics JSON
 //! repro bench-compare BASELINE PR [--tolerance T]
 //! repro trace [--scale S] [--out FILE]        # Chrome-trace export of the pipelines
@@ -20,7 +20,7 @@
 use std::io::Write as _;
 
 use kishu_bench::experiments::{
-    checkout, checkpoint, pipeline, restore, robustness, sweeps, tracking, workload_tables,
+    checkout, checkpoint, multi, pipeline, restore, robustness, sweeps, tracking, workload_tables,
 };
 use kishu_bench::report::Table;
 use kishu_testkit::json::Json;
@@ -65,7 +65,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table2|fig2|fig4|fig12|table4|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline|restore]... [--scale S] [--json FILE]\n\
+                    "usage: repro [all|table2|fig2|fig4|fig12|table4|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline|restore|multi]... [--scale S] [--json FILE]\n\
                             repro bench [--scale S] [--out FILE]\n\
                             repro bench-compare BASELINE PR [--tolerance T]\n\
                             repro trace [--scale S] [--out FILE]\n\
@@ -325,6 +325,7 @@ fn main() {
         tables.push(t);
     }
     run("faults", &mut || robustness::faults(scale), &mut tables);
+    run("multi", &mut || multi::table(scale), &mut tables);
     if want("fig13") || want("fig14") {
         eprintln!("[repro] running fig13+fig14 (scale {scale}) ...");
         let start = std::time::Instant::now();

@@ -169,12 +169,11 @@ pub fn bench_json(scale: f64) -> Json {
     let co_serial = super::restore::run(scale, 1, 0);
     let co_par = super::restore::run(scale, 4, 0);
     let co_cached = super::restore::run(scale, 4, super::restore::CACHE_BYTES);
-    Json::obj(vec![
-        ("schema", Json::Str("kishu-bench-v1".into())),
-        ("scale", Json::Float(scale)),
-        (
-            "metrics",
-            Json::obj(vec![
+    // Multi-session shared-store numbers ride along report-only: new metric
+    // names have no baseline entry, so they cannot fail the gate until the
+    // baseline is deliberately refreshed.
+    let (multi_metrics, multi_info) = super::multi::bench_fragment(scale);
+    let mut metric_pairs = vec![
                 (
                     "ckpt_serial_ns",
                     Json::Int(serial.ckpt_wall.as_nanos() as i64),
@@ -211,8 +210,13 @@ pub fn bench_json(scale: f64) -> Json {
                     Json::Int(co_par.cold_verify_ns as i64),
                 ),
                 ("checkout_apply_ns", Json::Int(co_par.cold_apply_ns as i64)),
-            ]),
-        ),
+    ];
+    metric_pairs.extend(multi_metrics);
+    Json::obj(vec![
+        ("schema", Json::Str("kishu-bench-v1".into())),
+        ("scale", Json::Float(scale)),
+        ("metrics", Json::obj(metric_pairs)),
+        ("multi", multi_info),
     ])
 }
 

@@ -26,6 +26,17 @@ use crate::{BlobId, CheckpointStore, StoreStats};
 const RECORD_MARKER: u8 = 0x4B; // 'K'
 const HEADER_LEN: u64 = 1 + 4 + 4;
 
+/// Append `payload` to `out` framed exactly as [`FileStore::put`] writes it
+/// (marker, length, CRC, payload), so writers that build whole log images
+/// out-of-place — GC compaction rewriting a generation — produce files
+/// [`FileStore::open`] recovers with the same torn-tail semantics.
+pub(crate) fn frame_record(out: &mut Vec<u8>, payload: &[u8]) {
+    out.push(RECORD_MARKER);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
 /// Append-only log-file blob store with CRC-checked records and recovery.
 pub struct FileStore {
     file: Mutex<File>,

@@ -1,0 +1,483 @@
+//! Mark-and-sweep GC / compaction for the [`SharedStore`].
+//!
+//! Unreferenced blobs accumulate in a shared store for two reasons: GC-able
+//! history (a tenant's superseded graph snapshots — every `persist` writes
+//! a fresh one) and safe-direction leaks (a payload written just before its
+//! mapping append failed). [`SharedStore::collect`] reclaims them:
+//!
+//! 1. **Mark** — the caller supplies, for *every* registered tenant, the
+//!    set of tenant blob ids its live `CheckpointGraph` can still reach
+//!    (`KishuSession::live_blobs`). A physical blob is live iff some
+//!    tenant's live mapping references it. Requiring every tenant to appear
+//!    makes "I forgot a session" a hard error instead of silent data loss.
+//! 2. **Sweep** — each shard is compacted into a new generation containing
+//!    only live payloads (renumbered densely); tenant mappings are
+//!    rewritten against the new indices, with reclaimed ids tombstoned so
+//!    tenant ids stay dense forever.
+//! 3. **Commit** — for a file-backed store, all new-generation files are
+//!    written and synced *before* the manifest is atomically renamed over;
+//!    the rename is the commit point. A crash at any byte before it leaves
+//!    the old generation fully intact (stray new-generation files are swept
+//!    on `open`); a crash after it finds a complete new generation. The
+//!    [`SharedStore::set_crash_after_bytes`] hook exists precisely to prove
+//!    this at every byte.
+//!
+//! GC is **stop-the-world between checkpoints**: it holds the store's meta
+//! lock and every shard lock for its whole run, so it cannot interleave
+//! with tenant operations; callers run it when their sessions are parked
+//! (which is also when live sets are well-defined). It is a pure space
+//! optimization — after a collection, every live blob of every tenant reads
+//! back byte-identically under the same tenant id. Because skipping it is
+//! always safe, `KISHU_GC=0` is the operational kill-switch: with it set,
+//! [`SharedStore::collect`] validates its inputs but reclaims nothing.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::io;
+use std::path::Path;
+
+use kishu_testkit::json::Json;
+
+use crate::dedup::content_key;
+use crate::file_store::{frame_record, FileStore};
+use crate::shared::{
+    encode_mapping, manifest_json, manifest_path, remove_stale_generations, shard_path,
+    tenant_path, Backend, Phys,
+};
+use crate::{BlobId, CheckpointStore, MemoryStore, SharedStore};
+
+/// What one collection did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Physical blobs surviving the sweep.
+    pub live_blobs: u64,
+    /// Physical blobs reclaimed.
+    pub reclaimed_blobs: u64,
+    /// Payload bytes reclaimed.
+    pub reclaimed_payload_bytes: u64,
+    /// Aggregate physical bytes (framing included) before the sweep.
+    pub physical_before: u64,
+    /// Aggregate physical bytes after the sweep.
+    pub physical_after: u64,
+    /// The generation this collection committed.
+    pub generation: u64,
+}
+
+impl GcReport {
+    /// JSON form, for bench output.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("live_blobs", Json::Int(self.live_blobs as i64)),
+            ("reclaimed_blobs", Json::Int(self.reclaimed_blobs as i64)),
+            ("reclaimed_payload_bytes", Json::Int(self.reclaimed_payload_bytes as i64)),
+            ("physical_before", Json::Int(self.physical_before as i64)),
+            ("physical_after", Json::Int(self.physical_after as i64)),
+            ("generation", Json::Int(self.generation as i64)),
+        ])
+    }
+}
+
+/// Write `bytes` to `path` and sync, honoring the crash budget: if the
+/// budget runs out mid-file, exactly the budgeted prefix lands on disk and
+/// the "machine dies" (`ErrorKind::Interrupted`).
+fn write_budgeted(path: &Path, bytes: &[u8], budget: &mut Option<u64>) -> io::Result<()> {
+    use std::io::Write;
+    let allowed = budget.map_or(bytes.len() as u64, |b| b.min(bytes.len() as u64));
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes[..allowed as usize])?;
+    f.sync_data()?;
+    if let Some(b) = budget.as_mut() {
+        *b -= allowed;
+    }
+    if allowed < bytes.len() as u64 {
+        return Err(io::Error::new(io::ErrorKind::Interrupted, "injected gc crash mid-write"));
+    }
+    Ok(())
+}
+
+/// The `KISHU_GC` kill-switch: `0` (or empty) disables collection. GC is a
+/// pure space optimization, so disabling it is always safe — the store just
+/// stops reclaiming.
+fn gc_enabled() -> bool {
+    match std::env::var("KISHU_GC") {
+        Ok(v) => v != "0" && !v.is_empty(),
+        Err(_) => true,
+    }
+}
+
+/// The commit rename under the crash budget (it costs one budget unit, so
+/// the sweep can also die in the instant between a fully written manifest
+/// temp file and the rename).
+fn rename_budgeted(from: &Path, to: &Path, budget: &mut Option<u64>) -> io::Result<()> {
+    if let Some(b) = budget.as_mut() {
+        if *b == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected gc crash before manifest rename",
+            ));
+        }
+        *b -= 1;
+    }
+    std::fs::rename(from, to)
+}
+
+impl SharedStore {
+    /// Collect garbage: reclaim every physical blob unreferenced by the
+    /// supplied live sets and compact the store into a new generation.
+    ///
+    /// `live` maps **every registered tenant** (extra or missing names are
+    /// an `InvalidInput` error) to the tenant blob ids its live graph
+    /// reaches — [`crate::CheckpointStore`] ids as that tenant sees them.
+    /// An empty set means "this tenant reaches nothing" and reclaims all
+    /// its blobs (their ids tombstone; they never get reused).
+    ///
+    /// On any error the committed state — in memory and on disk — is
+    /// untouched; a file-backed store additionally survives a kill at any
+    /// byte of the commit (see the module docs).
+    pub fn collect(&self, live: &BTreeMap<String, BTreeSet<BlobId>>) -> io::Result<GcReport> {
+        let trace = self.inner.trace.lock().expect("trace lock").clone();
+        let mut meta = self.inner.meta.lock().expect("meta lock");
+        let mut shards: Vec<_> =
+            self.inner.shards.iter().map(|s| s.lock().expect("shard lock")).collect();
+        let physical_before: u64 = shards.iter().map(|sh| sh.store.stats().physical_bytes).sum();
+
+        // ---- Mark ---------------------------------------------------
+        let mut new_refs: Vec<Vec<u64>> = shards.iter().map(|sh| vec![0u64; sh.refs.len()]).collect();
+        let mut new_mappings: BTreeMap<String, Vec<Option<(Phys, u64)>>> = BTreeMap::new();
+        {
+            let mut sp = trace.span("gc.mark");
+            for name in meta.tenants.keys() {
+                if !live.contains_key(name) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("gc live sets missing registered tenant {name:?}"),
+                    ));
+                }
+            }
+            for name in live.keys() {
+                if !meta.tenants.contains_key(name) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("gc live set names unregistered tenant {name:?}"),
+                    ));
+                }
+            }
+            // Kill-switch: inputs validated, nothing reclaimed.
+            if !gc_enabled() {
+                sp.arg("disabled", true);
+                return Ok(GcReport {
+                    live_blobs: shards
+                        .iter()
+                        .map(|sh| sh.refs.iter().filter(|&&r| r > 0).count() as u64)
+                        .sum(),
+                    physical_before,
+                    physical_after: physical_before,
+                    generation: meta.generation,
+                    ..GcReport::default()
+                });
+            }
+            for (name, t) in &meta.tenants {
+                let keep = &live[name];
+                let mapped: Vec<Option<(Phys, u64)>> = t
+                    .blobs
+                    .iter()
+                    .enumerate()
+                    .map(|(id, m)| match m {
+                        Some((p, len)) if keep.contains(&(id as u64)) => {
+                            new_refs[p.shard as usize][p.idx as usize] += 1;
+                            Some((*p, *len))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                new_mappings.insert(name.clone(), mapped);
+            }
+            sp.arg("tenants", meta.tenants.len());
+        }
+
+        // ---- Sweep --------------------------------------------------
+        // remap[shard][old idx] → new idx for survivors; kept payload bytes
+        // are read out now so the commit below is write-only.
+        let mut remap: Vec<Vec<Option<u32>>> = Vec::with_capacity(shards.len());
+        let mut kept: Vec<Vec<Vec<u8>>> = Vec::with_capacity(shards.len());
+        let mut report = GcReport { physical_before, ..GcReport::default() };
+        {
+            let mut sp = trace.span("gc.sweep");
+            for (i, sh) in shards.iter().enumerate() {
+                let mut shard_remap = Vec::with_capacity(sh.refs.len());
+                let mut shard_kept = Vec::new();
+                for (idx, &nref) in new_refs[i].iter().enumerate() {
+                    if nref > 0 {
+                        // A live blob that cannot be read back aborts the
+                        // collection before anything is mutated: GC must
+                        // never turn an injected read fault into data loss.
+                        let bytes = sh.store.get(idx as u64)?;
+                        shard_remap.push(Some(shard_kept.len() as u32));
+                        shard_kept.push(bytes);
+                        report.live_blobs += 1;
+                    } else {
+                        shard_remap.push(None);
+                        report.reclaimed_blobs += 1;
+                        report.reclaimed_payload_bytes += sh.lens[idx];
+                    }
+                }
+                remap.push(shard_remap);
+                kept.push(shard_kept);
+            }
+            sp.arg("live", report.live_blobs);
+            sp.arg("reclaimed", report.reclaimed_blobs);
+        }
+        for mappings in new_mappings.values_mut() {
+            for m in mappings.iter_mut().flatten() {
+                let p = &mut m.0;
+                p.idx = remap[p.shard as usize][p.idx as usize]
+                    .expect("marked blob survived the sweep");
+            }
+        }
+
+        // ---- Commit -------------------------------------------------
+        let mut sp = trace.span("gc.commit");
+        let next_gen = meta.generation + 1;
+        sp.arg("generation", next_gen);
+        match &self.inner.backend {
+            Backend::Memory => {
+                for (i, sh) in shards.iter_mut().enumerate() {
+                    let mut store = MemoryStore::new();
+                    let mut dedup = HashMap::new();
+                    let mut lens = Vec::new();
+                    for bytes in &kept[i] {
+                        let idx = store.put(bytes).expect("memory put") as u32;
+                        dedup.entry(content_key(bytes)).or_insert(idx);
+                        lens.push(bytes.len() as u64);
+                    }
+                    sh.store = Box::new(store);
+                    sh.dedup = dedup;
+                    sh.lens = lens;
+                    sh.refs = new_refs[i].iter().copied().filter(|&r| r > 0).collect();
+                }
+            }
+            Backend::File { dir } => {
+                let mut budget = self.inner.crash_after.lock().expect("crash lock");
+                for (i, shard_kept) in kept.iter().enumerate() {
+                    let mut image = Vec::new();
+                    for bytes in shard_kept {
+                        frame_record(&mut image, bytes);
+                    }
+                    write_budgeted(&shard_path(dir, i, next_gen), &image, &mut budget)?;
+                }
+                for (name, mappings) in &new_mappings {
+                    let mut image = Vec::new();
+                    for m in mappings {
+                        frame_record(&mut image, &encode_mapping(*m));
+                    }
+                    write_budgeted(&tenant_path(dir, name, next_gen), &image, &mut budget)?;
+                }
+                let names: Vec<&str> = meta.tenants.keys().map(String::as_str).collect();
+                let manifest = manifest_json(self.inner.nshards, next_gen, &names);
+                let tmp = dir.join("MANIFEST.tmp");
+                write_budgeted(&tmp, manifest.dump().as_bytes(), &mut budget)?;
+                rename_budgeted(&tmp, &manifest_path(dir), &mut budget)?;
+                // Committed. Swap the in-memory state over to the new
+                // generation; failures past this point must not un-commit,
+                // so reopen errors propagate but the manifest stays.
+                for (i, sh) in shards.iter_mut().enumerate() {
+                    let store = FileStore::open(shard_path(dir, i, next_gen))?;
+                    let mut dedup = HashMap::new();
+                    let mut lens = Vec::new();
+                    for (idx, bytes) in kept[i].iter().enumerate() {
+                        dedup.entry(content_key(bytes)).or_insert(idx as u32);
+                        lens.push(bytes.len() as u64);
+                    }
+                    sh.store = Box::new(store);
+                    sh.dedup = dedup;
+                    sh.lens = lens;
+                    sh.refs = new_refs[i].iter().copied().filter(|&r| r > 0).collect();
+                }
+                for (name, t) in meta.tenants.iter_mut() {
+                    t.log = Some(FileStore::open(tenant_path(dir, name, next_gen))?);
+                }
+                remove_stale_generations(dir, next_gen);
+            }
+        }
+        for (name, t) in meta.tenants.iter_mut() {
+            let mappings = new_mappings.remove(name).expect("mapping built in mark");
+            t.payload_bytes = mappings.iter().flatten().map(|(_, len)| len).sum();
+            t.blobs = mappings;
+        }
+        meta.generation = next_gen;
+        report.generation = next_gen;
+        report.physical_after = shards.iter().map(|sh| sh.store.stats().physical_bytes).sum();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kishu-gc-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn live(sets: &[(&str, &[u64])]) -> BTreeMap<String, BTreeSet<BlobId>> {
+        sets.iter().map(|(n, ids)| (n.to_string(), ids.iter().copied().collect())).collect()
+    }
+
+    #[test]
+    fn unreferenced_blobs_are_fully_reclaimed() {
+        let store = SharedStore::in_memory(4);
+        let mut a = store.tenant("a").expect("tenant");
+        let mut b = store.tenant("b").expect("tenant");
+        a.put(b"a's live payload").expect("put"); // a/0: live
+        a.put(b"a's dead payload").expect("put"); // a/1: dead
+        b.put(b"a's live payload").expect("put"); // b/0: dead, but shares a/0's phys
+        b.put(b"b's own live payload").expect("put"); // b/1: live
+        let r = store.collect(&live(&[("a", &[0]), ("b", &[1])])).expect("gc");
+        assert_eq!(r.live_blobs, 2);
+        assert_eq!(r.reclaimed_blobs, 1, "only 'a's dead payload' became unreferenced");
+        assert_eq!(r.reclaimed_payload_bytes, b"a's dead payload".len() as u64);
+        assert_eq!(r.generation, 1);
+        assert!(r.physical_after < r.physical_before);
+        // Live blobs read back under unchanged tenant ids.
+        assert_eq!(a.get(0).expect("get"), b"a's live payload");
+        assert_eq!(b.get(1).expect("get"), b"b's own live payload");
+        // Reclaimed ids are tombstones, not reused.
+        assert_eq!(a.get(1).expect_err("dead").kind(), io::ErrorKind::NotFound);
+        assert_eq!(b.get(0).expect_err("dead").kind(), io::ErrorKind::NotFound);
+        assert_eq!(a.blob_count(), 2, "ids stay dense");
+        store.check_invariants(true).expect("invariants");
+        // New writes go to fresh ids.
+        assert_eq!(a.put(b"post-gc").expect("put"), 2);
+        assert_eq!(a.get(2).expect("get"), b"post-gc");
+    }
+
+    #[test]
+    fn gc_never_reclaims_a_blob_any_tenant_reaches() {
+        let store = SharedStore::in_memory(2);
+        let mut a = store.tenant("a").expect("tenant");
+        let mut b = store.tenant("b").expect("tenant");
+        let shared = vec![7u8; 2000];
+        a.put(&shared).expect("put");
+        b.put(&shared).expect("put");
+        // a drops it; b still reaches it.
+        let r = store.collect(&live(&[("a", &[]), ("b", &[0])])).expect("gc");
+        assert_eq!(r.reclaimed_blobs, 0, "b's reference keeps the payload");
+        assert_eq!(b.get(0).expect("get"), shared);
+        // Now b drops it too.
+        let r = store.collect(&live(&[("a", &[]), ("b", &[])])).expect("gc");
+        assert_eq!(r.reclaimed_blobs, 1);
+        assert_eq!(r.physical_after, 0);
+        store.check_invariants(true).expect("invariants");
+    }
+
+    #[test]
+    fn live_sets_must_cover_every_tenant_exactly() {
+        let store = SharedStore::in_memory(2);
+        let mut a = store.tenant("a").expect("tenant");
+        store.tenant("b").expect("tenant");
+        a.put(b"x").expect("put");
+        let err = store.collect(&live(&[("a", &[0])])).expect_err("b missing");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = store
+            .collect(&live(&[("a", &[0]), ("b", &[]), ("ghost", &[])]))
+            .expect_err("ghost unregistered");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // Nothing was mutated by the failed attempts.
+        assert_eq!(store.generation(), 0);
+        assert_eq!(a.get(0).expect("get"), b"x");
+    }
+
+    #[test]
+    fn file_backed_gc_commits_a_new_generation_and_reopens() {
+        let dir = temp_dir("commit");
+        {
+            let store = SharedStore::create(&dir, 3).expect("create");
+            let mut a = store.tenant("a").expect("tenant");
+            for i in 0..20u32 {
+                a.put(format!("payload {i} {}", "x".repeat(50)).as_bytes()).expect("put");
+            }
+            store.sync_all().expect("sync");
+            let keep: Vec<u64> = (0..20).filter(|i| i % 3 == 0).collect();
+            let r = store.collect(&live(&[("a", &keep)])).expect("gc");
+            assert_eq!(r.live_blobs, 7);
+            assert_eq!(r.reclaimed_blobs, 13);
+            assert_eq!(store.generation(), 1);
+            // Post-GC, the live store keeps serving and accepting writes.
+            for i in keep {
+                assert!(String::from_utf8(a.get(i).expect("get")).expect("utf8")
+                    .starts_with(&format!("payload {i} ")));
+            }
+            a.put(b"after gc").expect("put");
+            store.sync_all().expect("sync");
+        }
+        // Reopen from disk: generation 1 files, old generation swept.
+        let store = SharedStore::open(&dir).expect("open");
+        assert_eq!(store.generation(), 1);
+        let a = store.tenant("a").expect("tenant");
+        assert_eq!(a.blob_count(), 21);
+        assert!(a.get(0).expect("get").starts_with(b"payload 0 "));
+        assert_eq!(a.get(20).expect("get"), b"after gc");
+        assert_eq!(a.get(1).expect_err("reclaimed").kind(), io::ErrorKind::NotFound);
+        store.check_invariants(true).expect("invariants");
+        let old_files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".g0."))
+            .collect();
+        assert!(old_files.is_empty(), "old generation files were deleted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_budget_zero_aborts_before_any_commit() {
+        let dir = temp_dir("crash0");
+        let store = SharedStore::create(&dir, 2).expect("create");
+        let mut a = store.tenant("a").expect("tenant");
+        a.put(b"keep me").expect("put");
+        a.put(b"reclaim me").expect("put");
+        store.sync_all().expect("sync");
+        store.set_crash_after_bytes(Some(0));
+        let err = store.collect(&live(&[("a", &[0])])).expect_err("crash");
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        // The store on disk is untouched: reopen sees generation 0, both
+        // blobs intact.
+        let reopened = SharedStore::open(&dir).expect("open");
+        assert_eq!(reopened.generation(), 0);
+        let a = reopened.tenant("a").expect("tenant");
+        assert_eq!(a.get(0).expect("get"), b"keep me");
+        assert_eq!(a.get(1).expect("get"), b"reclaim me");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_spans_cover_every_phase() {
+        let store = SharedStore::in_memory(2);
+        let trace = kishu_trace::Trace::enabled();
+        store.attach_trace(&trace);
+        let mut a = store.tenant("a").expect("tenant");
+        a.put(b"x").expect("put");
+        store.collect(&live(&[("a", &[])])).expect("gc");
+        let names: Vec<String> = trace.spans().iter().map(|s| s.name.clone()).collect();
+        for phase in ["gc.mark", "gc.sweep", "gc.commit"] {
+            assert!(names.iter().any(|n| n == phase), "missing span {phase}: {names:?}");
+        }
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = GcReport {
+            live_blobs: 3,
+            reclaimed_blobs: 2,
+            reclaimed_payload_bytes: 100,
+            physical_before: 500,
+            physical_after: 300,
+            generation: 4,
+        };
+        let j = r.to_json();
+        assert_eq!(j.get("reclaimed_blobs").and_then(Json::as_i64), Some(2));
+        Json::parse(&j.dump()).expect("round trips");
+    }
+}

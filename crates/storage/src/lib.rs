@@ -21,22 +21,34 @@
 //!   bytes into metadata-only operations;
 //! * [`BlobCache`] — the read-side twin: a bounded LRU cache of verified
 //!   checkout payloads keyed by the same content keys, so undo/redo
-//!   time-travel over the same states becomes memory-speed.
+//!   time-travel over the same states becomes memory-speed;
+//! * [`SharedStore`] — the multi-tenant deployment: store-wide
+//!   content-addressed dedup with refcounting, a blob log sharded by
+//!   content-key prefix, and observationally private per-tenant
+//!   [`TenantHandle`] views ([`shared`] module docs);
+//! * [`gc`] — stop-the-world mark-and-sweep compaction over a shared
+//!   store, committing new generations crash-consistently via an atomic
+//!   manifest rename.
 
 pub mod cache;
 pub mod crc32;
 pub mod dedup;
 pub mod fault_store;
 pub mod file_store;
+pub mod gc;
 pub mod memory_store;
+pub mod shared;
 
 pub use cache::{BlobCache, CacheStats};
 pub use dedup::{content_key, BlobIndex, ContentKey};
+pub use gc::GcReport;
 pub use fault_store::{
-    FaultKind, FaultLedger, FaultLedgerHandle, FaultOp, FaultPlan, FaultStore, InjectedFault,
+    tenant_scope, FaultKind, FaultLedger, FaultLedgerHandle, FaultOp, FaultPlan, FaultStore,
+    InjectedFault,
 };
 pub use file_store::FileStore;
 pub use memory_store::MemoryStore;
+pub use shared::{default_shard_count, SharedStore, TenantHandle};
 
 use std::io;
 

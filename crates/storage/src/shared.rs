@@ -1,0 +1,835 @@
+//! Multi-tenant shared checkpoint store.
+//!
+//! The paper's demo checkpoints one notebook session into one store; the
+//! north star is millions of users, where cross-user redundancy (the same
+//! dataset loaded, the same model trained) is the dominant storage win.
+//! [`SharedStore`] is that deployment shape:
+//!
+//! * **Store-wide dedup** — every sealed payload is content-addressed
+//!   ([`crate::dedup::content_key`]); identical bytes written by *any*
+//!   tenant land in the store once and are refcounted. Dedup here is
+//!   load-bearing (unlike the advisory per-session [`crate::BlobIndex`]):
+//!   a repeat write increments a refcount instead of appending.
+//! * **Sharded blob log** — payloads are routed to one of N shards by
+//!   content-key prefix, each with its own ordered writer behind its own
+//!   lock, so concurrent sessions stop serializing on a single file lock.
+//!   One tenant's writes stay in-order per shard, and since a tenant's
+//!   blob ids are assigned by its own dense counter, the per-session
+//!   serial-oracle invariant survives.
+//! * **Per-tenant views** — [`SharedStore::tenant`] returns a
+//!   [`TenantHandle`] implementing [`CheckpointStore`] with *dense,
+//!   private blob ids*: tenant blob `k` is its `k`-th successful `put`,
+//!   exactly as on a private store. Gets resolve through the tenant's
+//!   mapping to physical `(shard, index)` pairs. Stats are logical
+//!   (mirroring [`crate::MemoryStore`]'s accounting), so a session cannot
+//!   observe its neighbors through sizes either. The shared store is
+//!   **observationally private**: every read, id, size, and error a
+//!   tenant sees is byte-identical to running alone — the property
+//!   `tests/multi_tenant.rs` proves differentially.
+//! * **GC** — see [`crate::gc`]: a stop-the-world mark-and-sweep pass over
+//!   caller-supplied live sets that compacts shards into a new generation
+//!   and commits via an atomic manifest rename, crash-consistent with
+//!   [`SharedStore::open`].
+//!
+//! ## File layout
+//!
+//! A file-backed store is a directory:
+//!
+//! ```text
+//! MANIFEST.json            {"schema","shards","generation","tenants"}
+//! shard-<i>.g<G>.log       payload log (FileStore framing), shard i, gen G
+//! tenant-<hex>.g<G>.log    mapping log: tenant blob k = k-th record
+//! ```
+//!
+//! Mapping records are `[1, shard: u32, idx: u32, len: u64]` (all LE) for a
+//! live mapping or `[0]` for a tombstone (a blob GC reclaimed; the id stays
+//! allocated so tenant ids remain dense forever). Everything outside the
+//! manifest is append-only between GCs; `open` rebuilds dedup maps and
+//! refcounts by scanning, so no index file can go stale.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use kishu_testkit::hash::xxh64;
+use kishu_testkit::json::Json;
+use kishu_trace::Trace;
+
+use crate::dedup::{content_key, ContentKey};
+use crate::file_store::FileStore;
+use crate::{BlobId, CheckpointStore, MemoryStore, StoreStats};
+
+/// Schema tag of `MANIFEST.json`.
+pub const SHARED_SCHEMA: &str = "kishu-shared-v1";
+
+/// Default shard count when `KISHU_STORE_SHARDS` is unset.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// Shard count from the `KISHU_STORE_SHARDS` environment knob, clamped to
+/// `[1, 64]`; [`DEFAULT_SHARDS`] when unset or unparsable.
+pub fn default_shard_count() -> usize {
+    std::env::var("KISHU_STORE_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(1, 64))
+        .unwrap_or(DEFAULT_SHARDS)
+}
+
+/// Physical address of a stored payload: `(shard, index within shard)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Phys {
+    pub(crate) shard: u32,
+    pub(crate) idx: u32,
+}
+
+/// Which shard a content key routes to: the top bits of the hash — the
+/// "content-key prefix" — modulo the shard count. A pure function, so a
+/// tenant's shard assignment for a payload never depends on its neighbors.
+pub(crate) fn shard_of(key: ContentKey, nshards: usize) -> usize {
+    (key.0 >> 48) as usize % nshards.max(1)
+}
+
+/// One shard: its ordered payload log plus the store-wide dedup index and
+/// refcounts for the contents that route here.
+pub(crate) struct ShardState {
+    pub(crate) store: Box<dyn CheckpointStore>,
+    /// Content key → local index. Load-bearing (a hit suppresses a write),
+    /// safe because the key pairs a 64-bit hash with the exact length.
+    pub(crate) dedup: HashMap<ContentKey, u32>,
+    /// Live references per local blob, across all tenants. Only GC ever
+    /// decreases these (by recomputation, so they structurally cannot go
+    /// negative).
+    pub(crate) refs: Vec<u64>,
+    /// Payload length per local blob.
+    pub(crate) lens: Vec<u64>,
+}
+
+/// One tenant's view state: its dense id → physical mapping.
+pub(crate) struct TenantState {
+    /// Tenant blob `k` ↦ `(phys, payload len)`, or `None` once reclaimed
+    /// (ids stay dense forever; a reclaimed id reads as `NotFound`).
+    pub(crate) blobs: Vec<Option<(Phys, u64)>>,
+    /// Cumulative payload bytes over live mappings (what a private
+    /// [`MemoryStore`] would report after the same puts).
+    pub(crate) payload_bytes: u64,
+    /// Durable mapping log (file backend only).
+    pub(crate) log: Option<FileStore>,
+}
+
+/// Registry + generation behind one lock: lock ordering everywhere is
+/// meta before shard, and `put` never holds both at once.
+pub(crate) struct Meta {
+    pub(crate) tenants: BTreeMap<String, TenantState>,
+    pub(crate) generation: u64,
+}
+
+pub(crate) enum Backend {
+    Memory,
+    File { dir: PathBuf },
+}
+
+pub(crate) struct Inner {
+    pub(crate) backend: Backend,
+    pub(crate) nshards: usize,
+    pub(crate) shards: Vec<Mutex<ShardState>>,
+    pub(crate) meta: Mutex<Meta>,
+    pub(crate) trace: Mutex<Trace>,
+    /// GC crash-test hook: remaining byte budget for generation writes.
+    /// `None` = unlimited. See [`SharedStore::set_crash_after_bytes`].
+    pub(crate) crash_after: Mutex<Option<u64>>,
+}
+
+/// A multi-tenant, store-wide-deduplicating, sharded checkpoint store.
+/// Cheap to clone (a handle); see the module docs for the architecture.
+#[derive(Clone)]
+pub struct SharedStore {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for SharedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let meta = self.inner.meta.lock().expect("meta lock");
+        f.debug_struct("SharedStore")
+            .field("shards", &self.inner.nshards)
+            .field("tenants", &meta.tenants.len())
+            .field("generation", &meta.generation)
+            .finish()
+    }
+}
+
+pub(crate) fn shard_path(dir: &Path, shard: usize, generation: u64) -> PathBuf {
+    dir.join(format!("shard-{shard}.g{generation}.log"))
+}
+
+pub(crate) fn tenant_path(dir: &Path, name: &str, generation: u64) -> PathBuf {
+    dir.join(format!("tenant-{:016x}.g{generation}.log", xxh64(name.as_bytes(), 0)))
+}
+
+pub(crate) fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("MANIFEST.json")
+}
+
+/// Serialize one mapping-log record.
+pub(crate) fn encode_mapping(m: Option<(Phys, u64)>) -> Vec<u8> {
+    match m {
+        Some((p, len)) => {
+            let mut v = Vec::with_capacity(17);
+            v.push(1);
+            v.extend_from_slice(&p.shard.to_le_bytes());
+            v.extend_from_slice(&p.idx.to_le_bytes());
+            v.extend_from_slice(&len.to_le_bytes());
+            v
+        }
+        None => vec![0],
+    }
+}
+
+/// Parse one mapping-log record; `None` if malformed (treated as a
+/// tombstone by recovery — degraded, never wrong bytes).
+fn decode_mapping(b: &[u8]) -> Option<(Phys, u64)> {
+    if b.len() != 17 || b[0] != 1 {
+        return None;
+    }
+    let shard = u32::from_le_bytes([b[1], b[2], b[3], b[4]]);
+    let idx = u32::from_le_bytes([b[5], b[6], b[7], b[8]]);
+    let len = u64::from_le_bytes([b[9], b[10], b[11], b[12], b[13], b[14], b[15], b[16]]);
+    Some((Phys { shard, idx }, len))
+}
+
+/// Render the manifest JSON for the given state.
+pub(crate) fn manifest_json(nshards: usize, generation: u64, tenants: &[&str]) -> Json {
+    Json::obj(vec![
+        ("schema", Json::Str(SHARED_SCHEMA.to_string())),
+        ("shards", Json::Int(nshards as i64)),
+        ("generation", Json::Int(generation as i64)),
+        (
+            "tenants",
+            Json::Array(tenants.iter().map(|t| Json::Str(t.to_string())).collect()),
+        ),
+    ])
+}
+
+/// Durably replace `MANIFEST.json`: write a temp file, sync it, rename it
+/// over the manifest. The rename is the commit point — a crash on either
+/// side leaves a complete manifest naming a complete generation.
+pub(crate) fn commit_manifest(dir: &Path, json: &Json) -> io::Result<()> {
+    let tmp = dir.join("MANIFEST.tmp");
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.dump().as_bytes())?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, manifest_path(dir))
+}
+
+/// Remove generation-suffixed files in `dir` not belonging to `keep_gen`
+/// (plus any stranded `MANIFEST.tmp`). Best-effort hygiene after GC and on
+/// open; never touches files outside the store's naming scheme.
+pub(crate) fn remove_stale_generations(dir: &Path, keep_gen: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    let keep = format!(".g{keep_gen}.log");
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name == "MANIFEST.tmp" {
+            let _ = std::fs::remove_file(entry.path());
+            continue;
+        }
+        let generational = (name.starts_with("shard-") || name.starts_with("tenant-"))
+            && name.ends_with(".log")
+            && name.contains(".g");
+        if generational && !name.ends_with(&keep) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+// `Inner` holds `Box<dyn CheckpointStore>` (the trait is not `Send`-bounded);
+// handles are cloned across sessions on one thread, and the `Arc` keeps the
+// sharing shape right for a future `Send`-bounded store trait.
+#[allow(clippy::arc_with_non_send_sync)]
+impl SharedStore {
+    /// Fresh in-memory shared store with `nshards` shards (clamped ≥ 1).
+    pub fn in_memory(nshards: usize) -> Self {
+        let nshards = nshards.max(1);
+        let shards = (0..nshards)
+            .map(|_| {
+                Mutex::new(ShardState {
+                    store: Box::new(MemoryStore::new()) as Box<dyn CheckpointStore>,
+                    dedup: HashMap::new(),
+                    refs: Vec::new(),
+                    lens: Vec::new(),
+                })
+            })
+            .collect();
+        SharedStore {
+            inner: Arc::new(Inner {
+                backend: Backend::Memory,
+                nshards,
+                shards,
+                meta: Mutex::new(Meta { tenants: BTreeMap::new(), generation: 0 }),
+                trace: Mutex::new(Trace::disabled()),
+                crash_after: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Create a fresh file-backed store in `dir` (wiping any store files
+    /// already there), with `nshards` shards at generation 0.
+    pub fn create(dir: impl AsRef<Path>, nshards: usize) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        let nshards = nshards.max(1);
+        std::fs::create_dir_all(dir)?;
+        // Wipe every file of the store's naming scheme, any generation.
+        for entry in std::fs::read_dir(dir)?.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("shard-")
+                || name.starts_with("tenant-")
+                || name == "MANIFEST.json"
+                || name == "MANIFEST.tmp"
+            {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        let mut shards = Vec::with_capacity(nshards);
+        for i in 0..nshards {
+            let store = FileStore::create(shard_path(dir, i, 0))?;
+            shards.push(Mutex::new(ShardState {
+                store: Box::new(store) as Box<dyn CheckpointStore>,
+                dedup: HashMap::new(),
+                refs: Vec::new(),
+                lens: Vec::new(),
+            }));
+        }
+        commit_manifest(dir, &manifest_json(nshards, 0, &[]))?;
+        Ok(SharedStore {
+            inner: Arc::new(Inner {
+                backend: Backend::File { dir: dir.to_path_buf() },
+                nshards,
+                shards,
+                meta: Mutex::new(Meta { tenants: BTreeMap::new(), generation: 0 }),
+                trace: Mutex::new(Trace::disabled()),
+                crash_after: Mutex::new(None),
+            }),
+        })
+    }
+
+    /// Open an existing file-backed store, recovering from whatever a crash
+    /// left behind: the manifest names the committed generation; shard and
+    /// mapping logs recover their torn tails via [`FileStore::open`]; dedup
+    /// maps and refcounts are rebuilt by scanning; files from uncommitted
+    /// generations are swept away.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        let text = std::fs::read_to_string(manifest_path(dir))?;
+        let j = Json::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("manifest: {e:?}")))?;
+        if j.get("schema").and_then(Json::as_str) != Some(SHARED_SCHEMA) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "unknown manifest schema"));
+        }
+        let nshards = j
+            .get("shards")
+            .and_then(Json::as_i64)
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "manifest shard count"))?
+            as usize;
+        let generation = j.get("generation").and_then(Json::as_i64).unwrap_or(0) as u64;
+        let tenant_names: Vec<String> = j
+            .get("tenants")
+            .and_then(Json::as_array)
+            .map(|a| a.iter().filter_map(|t| t.as_str().map(str::to_string)).collect())
+            .unwrap_or_default();
+        remove_stale_generations(dir, generation);
+
+        let mut shards = Vec::with_capacity(nshards);
+        for i in 0..nshards {
+            let path = shard_path(dir, i, generation);
+            let store = if path.exists() { FileStore::open(&path)? } else { FileStore::create(&path)? };
+            let count = store.blob_count();
+            let mut dedup = HashMap::new();
+            let mut lens = Vec::with_capacity(count as usize);
+            for idx in 0..count {
+                match store.get(idx) {
+                    Ok(bytes) => {
+                        // First writer wins, matching put's behavior.
+                        dedup.entry(content_key(&bytes)).or_insert(idx as u32);
+                        lens.push(bytes.len() as u64);
+                    }
+                    // Unreadable payload: keep the slot (ids are positional)
+                    // but never dedup onto it.
+                    Err(_) => lens.push(0),
+                }
+            }
+            shards.push(Mutex::new(ShardState {
+                store: Box::new(store) as Box<dyn CheckpointStore>,
+                dedup,
+                refs: vec![0; count as usize],
+                lens,
+            }));
+        }
+
+        let mut tenants = BTreeMap::new();
+        for name in tenant_names {
+            let path = tenant_path(dir, &name, generation);
+            let log = if path.exists() { FileStore::open(&path)? } else { FileStore::create(&path)? };
+            let mut blobs = Vec::new();
+            let mut payload_bytes = 0u64;
+            for rec in 0..log.blob_count() {
+                let bytes = log.get(rec)?;
+                let mapping = decode_mapping(&bytes).filter(|(p, _)| {
+                    // A mapping may outrun its payload if the shard log lost
+                    // a tail the mapping log kept: degrade to a tombstone.
+                    (p.shard as usize) < nshards && {
+                        let sh = shards[p.shard as usize].lock().expect("shard lock");
+                        (p.idx as u64) < sh.store.blob_count()
+                    }
+                });
+                if let Some((p, len)) = mapping {
+                    let mut sh = shards[p.shard as usize].lock().expect("shard lock");
+                    sh.refs[p.idx as usize] += 1;
+                    payload_bytes += len;
+                    blobs.push(Some((p, len)));
+                } else {
+                    blobs.push(None);
+                }
+            }
+            tenants.insert(name, TenantState { blobs, payload_bytes, log: Some(log) });
+        }
+
+        Ok(SharedStore {
+            inner: Arc::new(Inner {
+                backend: Backend::File { dir: dir.to_path_buf() },
+                nshards,
+                shards,
+                meta: Mutex::new(Meta { tenants, generation }),
+                trace: Mutex::new(Trace::disabled()),
+                crash_after: Mutex::new(None),
+            }),
+        })
+    }
+
+    /// The tenant view named `name`, registering it (durably, for a
+    /// file-backed store) on first use. Tenant blob ids are dense and
+    /// private to the view; see the module docs for the privacy contract.
+    pub fn tenant(&self, name: &str) -> io::Result<TenantHandle> {
+        let mut meta = self.inner.meta.lock().expect("meta lock");
+        if !meta.tenants.contains_key(name) {
+            let log = match &self.inner.backend {
+                Backend::Memory => None,
+                Backend::File { dir } => {
+                    Some(FileStore::create(tenant_path(dir, name, meta.generation))?)
+                }
+            };
+            meta.tenants.insert(
+                name.to_string(),
+                TenantState { blobs: Vec::new(), payload_bytes: 0, log },
+            );
+            if let Backend::File { dir } = &self.inner.backend {
+                let names: Vec<&str> = meta.tenants.keys().map(String::as_str).collect();
+                commit_manifest(dir, &manifest_json(self.inner.nshards, meta.generation, &names))?;
+            }
+        }
+        Ok(TenantHandle { inner: Arc::clone(&self.inner), name: name.to_string() })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.nshards
+    }
+
+    /// Current GC generation (0 until the first collection commits).
+    pub fn generation(&self) -> u64 {
+        self.inner.meta.lock().expect("meta lock").generation
+    }
+
+    /// Registered tenant names, sorted.
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.inner.meta.lock().expect("meta lock").tenants.keys().cloned().collect()
+    }
+
+    /// True aggregate storage accounting across all shards — what the
+    /// shared deployment actually costs, as opposed to the logical view
+    /// each [`TenantHandle::stats`] reports.
+    pub fn stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for shard in &self.inner.shards {
+            let st = shard.lock().expect("shard lock").store.stats();
+            total.blobs += st.blobs;
+            total.payload_bytes += st.payload_bytes;
+            total.physical_bytes += st.physical_bytes;
+        }
+        total
+    }
+
+    /// Sum of every tenant's logical payload bytes (what N private stores
+    /// would have stored).
+    pub fn logical_payload_bytes(&self) -> u64 {
+        let meta = self.inner.meta.lock().expect("meta lock");
+        meta.tenants.values().map(|t| t.payload_bytes).sum()
+    }
+
+    /// Store-wide dedup ratio: logical bytes over physical payload bytes
+    /// (≥ 1.0; 1.0 means no cross- or intra-tenant redundancy was found).
+    pub fn dedup_ratio(&self) -> f64 {
+        let physical = self.stats().payload_bytes;
+        if physical == 0 {
+            return 1.0;
+        }
+        self.logical_payload_bytes() as f64 / physical as f64
+    }
+
+    /// Attach an observability trace to the store and its shard backends.
+    /// Purely observational, like every trace in this codebase.
+    pub fn attach_trace(&self, trace: &Trace) {
+        *self.inner.trace.lock().expect("trace lock") = trace.clone();
+        for shard in &self.inner.shards {
+            shard.lock().expect("shard lock").store.attach_trace(trace);
+        }
+    }
+
+    /// Crash-test hook for GC: the next collection may write at most
+    /// `budget` bytes of new-generation files before "the machine dies" —
+    /// the file in flight is truncated at the exact budget byte and the
+    /// collection aborts with `ErrorKind::Interrupted`, leaving the
+    /// committed generation untouched. File backend only. `None` disables.
+    pub fn set_crash_after_bytes(&self, budget: Option<u64>) {
+        *self.inner.crash_after.lock().expect("crash lock") = budget;
+    }
+
+    /// Sync every shard log and mapping log to the durable medium.
+    pub fn sync_all(&self) -> io::Result<()> {
+        for shard in &self.inner.shards {
+            shard.lock().expect("shard lock").store.sync()?;
+        }
+        let mut meta = self.inner.meta.lock().expect("meta lock");
+        for t in meta.tenants.values_mut() {
+            if let Some(log) = &mut t.log {
+                log.sync()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Structural invariant check, for tests: every mapping points at a
+    /// real payload of the recorded length; stored refcounts equal (strict)
+    /// or dominate (non-strict, for runs where injected faults may have
+    /// leaked a count in the safe direction) the references actually
+    /// reachable from tenant mappings; dedup entries are in range. Returns
+    /// a description of the first violation.
+    pub fn check_invariants(&self, strict: bool) -> Result<(), String> {
+        let meta = self.inner.meta.lock().expect("meta lock");
+        let mut recomputed: Vec<Vec<u64>> = Vec::with_capacity(self.inner.nshards);
+        for shard in &self.inner.shards {
+            recomputed.push(vec![0; shard.lock().expect("shard lock").refs.len()]);
+        }
+        for (name, t) in &meta.tenants {
+            for (id, m) in t.blobs.iter().enumerate() {
+                let Some((p, len)) = m else { continue };
+                let counts = recomputed
+                    .get_mut(p.shard as usize)
+                    .ok_or_else(|| format!("{name}/{id}: shard {} out of range", p.shard))?;
+                let slot = counts
+                    .get_mut(p.idx as usize)
+                    .ok_or_else(|| format!("{name}/{id}: idx {} out of range", p.idx))?;
+                *slot += 1;
+                let sh = self.inner.shards[p.shard as usize].lock().expect("shard lock");
+                if sh.lens[p.idx as usize] != *len {
+                    return Err(format!(
+                        "{name}/{id}: recorded len {len} != stored len {}",
+                        sh.lens[p.idx as usize]
+                    ));
+                }
+            }
+        }
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            let sh = shard.lock().expect("shard lock");
+            if sh.refs.len() as u64 != sh.store.blob_count() {
+                return Err(format!("shard {i}: refs len != blob count"));
+            }
+            for (idx, (&stored, &actual)) in sh.refs.iter().zip(&recomputed[i]).enumerate() {
+                if strict && stored != actual {
+                    return Err(format!("shard {i} blob {idx}: refcount {stored} != {actual}"));
+                }
+                if stored < actual {
+                    return Err(format!(
+                        "shard {i} blob {idx}: refcount {stored} below live references {actual}"
+                    ));
+                }
+            }
+            for (key, &idx) in &sh.dedup {
+                if idx as usize >= sh.refs.len() {
+                    return Err(format!("shard {i}: dedup entry {key:?} out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One tenant's [`CheckpointStore`] view over a [`SharedStore`]. Dense
+/// private blob ids; observationally identical to a private store.
+#[derive(Clone)]
+pub struct TenantHandle {
+    inner: Arc<Inner>,
+    name: String,
+}
+
+impl TenantHandle {
+    /// The tenant name this view is registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for TenantHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TenantHandle").field("name", &self.name).finish()
+    }
+}
+
+impl CheckpointStore for TenantHandle {
+    fn put(&mut self, bytes: &[u8]) -> io::Result<BlobId> {
+        let key = content_key(bytes);
+        let shard_i = shard_of(key, self.inner.nshards);
+        let trace = self.inner.trace.lock().expect("trace lock").clone();
+        let mut sp = trace.span("shared.put");
+        sp.arg("shard", shard_i);
+        sp.arg("bytes", bytes.len());
+        // Phase 1 under the shard lock only: dedup-or-append + refcount.
+        // The lock is released before the meta lock is taken, so `put`
+        // never holds two locks (no ordering edge against GC or `get`).
+        let (phys, fresh) = {
+            let mut sh = self.inner.shards[shard_i].lock().expect("shard lock");
+            match sh.dedup.get(&key).copied() {
+                Some(idx) => {
+                    sh.refs[idx as usize] += 1;
+                    (Phys { shard: shard_i as u32, idx }, false)
+                }
+                None => {
+                    let idx = sh.store.put(bytes)? as u32;
+                    sh.dedup.insert(key, idx);
+                    sh.refs.push(1);
+                    sh.lens.push(bytes.len() as u64);
+                    debug_assert_eq!(sh.refs.len() - 1, idx as usize);
+                    (Phys { shard: shard_i as u32, idx }, true)
+                }
+            }
+        };
+        sp.arg("dedup_hit", !fresh);
+        trace.observe("shared.put_bytes", bytes.len() as u64);
+        // Phase 2 under the meta lock: assign the dense tenant id and
+        // append the mapping record.
+        let mut meta = self.inner.meta.lock().expect("meta lock");
+        let t = meta.tenants.get_mut(&self.name).expect("tenant registered by SharedStore::tenant");
+        let len = bytes.len() as u64;
+        if let Some(log) = &mut t.log {
+            if let Err(e) = log.put(&encode_mapping(Some((phys, len)))) {
+                // The mapping never existed, so the tenant id is not
+                // allocated; release the reference taken in phase 1 (a
+                // fresh payload stays in the shard at refcount 0 — dead
+                // weight the next GC reclaims, never a correctness issue).
+                drop(meta);
+                let mut sh = self.inner.shards[shard_i].lock().expect("shard lock");
+                sh.refs[phys.idx as usize] -= 1;
+                return Err(e);
+            }
+        }
+        t.blobs.push(Some((phys, len)));
+        t.payload_bytes += len;
+        Ok((t.blobs.len() - 1) as BlobId)
+    }
+
+    fn get(&self, id: BlobId) -> io::Result<Vec<u8>> {
+        // Error shape matches MemoryStore so a tenant cannot tell the
+        // difference between its view and a private store.
+        let not_found = || io::Error::new(io::ErrorKind::NotFound, format!("no blob {id}"));
+        let (phys, _len) = {
+            let meta = self.inner.meta.lock().expect("meta lock");
+            let t = meta.tenants.get(&self.name).expect("tenant registered");
+            t.blobs.get(id as usize).copied().ok_or_else(not_found)?.ok_or_else(not_found)?
+        };
+        let trace = self.inner.trace.lock().expect("trace lock").clone();
+        let mut sp = trace.span("shared.get");
+        sp.arg("shard", phys.shard);
+        sp.arg("blob", id);
+        let sh = self.inner.shards[phys.shard as usize].lock().expect("shard lock");
+        sh.store.get(phys.idx as u64)
+    }
+
+    fn blob_count(&self) -> u64 {
+        let meta = self.inner.meta.lock().expect("meta lock");
+        meta.tenants.get(&self.name).expect("tenant registered").blobs.len() as u64
+    }
+
+    fn stats(&self) -> StoreStats {
+        // Logical accounting, mirroring MemoryStore: a tenant must not be
+        // able to observe its neighbors (or the dedup they induce) through
+        // sizes. True physical usage lives on SharedStore::stats.
+        let meta = self.inner.meta.lock().expect("meta lock");
+        let t = meta.tenants.get(&self.name).expect("tenant registered");
+        StoreStats {
+            blobs: t.blobs.len() as u64,
+            payload_bytes: t.payload_bytes,
+            physical_bytes: t.payload_bytes,
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let trace = self.inner.trace.lock().expect("trace lock").clone();
+        let _sp = trace.span("shared.sync");
+        for shard in &self.inner.shards {
+            shard.lock().expect("shard lock").store.sync()?;
+        }
+        let mut meta = self.inner.meta.lock().expect("meta lock");
+        if let Some(log) = &mut meta.tenants.get_mut(&self.name).expect("tenant registered").log {
+            log.sync()?;
+        }
+        Ok(())
+    }
+
+    fn attach_trace(&mut self, trace: &Trace) {
+        *self.inner.trace.lock().expect("trace lock") = trace.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kishu-shared-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn tenant_ids_are_dense_and_private() {
+        let store = SharedStore::in_memory(4);
+        let mut a = store.tenant("alice").expect("tenant");
+        let mut b = store.tenant("bob").expect("tenant");
+        assert_eq!(a.put(b"shared bytes").expect("put"), 0);
+        assert_eq!(b.put(b"shared bytes").expect("put"), 0, "b's ids start at 0 too");
+        assert_eq!(a.put(b"alice only").expect("put"), 1);
+        assert_eq!(a.get(0).expect("get"), b"shared bytes");
+        assert_eq!(b.get(0).expect("get"), b"shared bytes");
+        assert_eq!(a.get(1).expect("get"), b"alice only");
+        let err = b.get(1).expect_err("b has one blob");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert_eq!(format!("{err}"), "no blob 1", "error shape matches MemoryStore");
+    }
+
+    #[test]
+    fn cross_tenant_dedup_stores_identical_bytes_once() {
+        let store = SharedStore::in_memory(4);
+        let mut a = store.tenant("alice").expect("tenant");
+        let mut b = store.tenant("bob").expect("tenant");
+        let payload = vec![42u8; 10_000];
+        a.put(&payload).expect("put");
+        b.put(&payload).expect("put");
+        b.put(&payload).expect("repeat within tenant");
+        let physical = store.stats();
+        assert_eq!(physical.blobs, 1, "one physical copy");
+        assert_eq!(physical.payload_bytes, 10_000);
+        assert_eq!(store.logical_payload_bytes(), 30_000);
+        assert!((store.dedup_ratio() - 3.0).abs() < 1e-9);
+        // Logical views are oblivious.
+        assert_eq!(a.stats().payload_bytes, 10_000);
+        assert_eq!(b.stats().payload_bytes, 20_000);
+        assert_eq!(b.stats().physical_bytes, 20_000);
+        store.check_invariants(true).expect("invariants");
+    }
+
+    #[test]
+    fn payloads_spread_across_shards() {
+        let store = SharedStore::in_memory(4);
+        let mut t = store.tenant("t").expect("tenant");
+        for i in 0..64u32 {
+            t.put(format!("payload number {i}").as_bytes()).expect("put");
+        }
+        let occupied = store
+            .inner
+            .shards
+            .iter()
+            .filter(|s| s.lock().expect("lock").store.blob_count() > 0)
+            .count();
+        assert!(occupied > 1, "content-key prefix routing uses multiple shards");
+        for i in 0..64u64 {
+            assert_eq!(t.get(i).expect("get"), format!("payload number {i}").as_bytes());
+        }
+    }
+
+    #[test]
+    fn file_backed_store_reopens_with_views_intact() {
+        let dir = temp_dir("reopen");
+        {
+            let store = SharedStore::create(&dir, 3).expect("create");
+            let mut a = store.tenant("alice").expect("tenant");
+            let mut b = store.tenant("bob").expect("tenant");
+            a.put(b"common").expect("put");
+            a.put(b"alice's own").expect("put");
+            b.put(b"common").expect("put");
+            store.sync_all().expect("sync");
+        }
+        let store = SharedStore::open(&dir).expect("open");
+        assert_eq!(store.tenant_names(), vec!["alice".to_string(), "bob".to_string()]);
+        let a = store.tenant("alice").expect("tenant");
+        let b = store.tenant("bob").expect("tenant");
+        assert_eq!(a.blob_count(), 2);
+        assert_eq!(a.get(0).expect("get"), b"common");
+        assert_eq!(a.get(1).expect("get"), b"alice's own");
+        assert_eq!(b.blob_count(), 1);
+        assert_eq!(b.get(0).expect("get"), b"common");
+        assert_eq!(store.stats().blobs, 2, "dedup survives reopen");
+        store.check_invariants(true).expect("invariants after reopen");
+        // Dedup index was rebuilt: a repeat write still dedups.
+        let mut b = b;
+        b.put(b"common").expect("put");
+        assert_eq!(store.stats().blobs, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_mapping_tail_degrades_to_missing_blob() {
+        let dir = temp_dir("torn-map");
+        let tenant_log = {
+            let store = SharedStore::create(&dir, 2).expect("create");
+            let mut a = store.tenant("alice").expect("tenant");
+            a.put(b"first").expect("put");
+            a.put(b"second").expect("put");
+            store.sync_all().expect("sync");
+            tenant_path(&dir, "alice", 0)
+        };
+        // Tear the tail of the mapping log mid-record.
+        let len = std::fs::metadata(&tenant_log).expect("meta").len();
+        let f = std::fs::OpenOptions::new().write(true).open(&tenant_log).expect("open");
+        f.set_len(len - 5).expect("truncate");
+        drop(f);
+        let store = SharedStore::open(&dir).expect("recover");
+        let a = store.tenant("alice").expect("tenant");
+        assert_eq!(a.blob_count(), 1, "torn mapping record truncated away");
+        assert_eq!(a.get(0).expect("get"), b"first");
+        store.check_invariants(true).expect("invariants");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_env_knob_parses_and_clamps() {
+        // Can't set env vars safely in-process; check the default and the
+        // clamp bounds via the constant contract.
+        let n = default_shard_count();
+        assert!((1..=64).contains(&n));
+    }
+
+    #[test]
+    fn mapping_records_roundtrip() {
+        let m = Some((Phys { shard: 3, idx: 0x0102_0304 }, 0x1122_3344_5566_7788));
+        assert_eq!(decode_mapping(&encode_mapping(m)), m);
+        assert_eq!(encode_mapping(None), vec![0]);
+        assert_eq!(decode_mapping(&[0]), None);
+        assert_eq!(decode_mapping(b"garbage!!"), None);
+    }
+}

@@ -82,6 +82,21 @@ if [ "$QUICK" != 1 ]; then
         echo "error: fault suite failed; replay with KISHU_TESTKIT_SEED=$FAULT_SEED" >&2
         exit 1
     fi
+
+    # Multi-tenant isolation differential under the same pinned seed and
+    # both ends of the worker matrix (the suite also fixes worker counts
+    # internally; the env pass covers the defaulted paths). Each session's
+    # view of a shared store must be byte-identical to a private store.
+    stage "multi-tenant isolation (KISHU_TESTKIT_SEED=$FAULT_SEED, workers 1 and 4)"
+    if ! { KISHU_TESTKIT_SEED="$FAULT_SEED" \
+            KISHU_CHECKPOINT_WORKERS=1 KISHU_RESTORE_WORKERS=1 \
+            cargo test -q --offline -p kishu-repro --test multi_tenant \
+        && KISHU_TESTKIT_SEED="$FAULT_SEED" \
+            KISHU_CHECKPOINT_WORKERS=4 KISHU_RESTORE_WORKERS=4 \
+            cargo test -q --offline -p kishu-repro --test multi_tenant; }; then
+        echo "error: multi-tenant suite failed; replay with KISHU_TESTKIT_SEED=$FAULT_SEED" >&2
+        exit 1
+    fi
 fi
 
 if cargo clippy --version >/dev/null 2>&1; then

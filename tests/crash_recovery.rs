@@ -15,16 +15,22 @@
 //!    every checkout with namespace state equivalent to a fault-free twin,
 //!    with the degradation visible in the session's counters and the fault
 //!    ledger.
+//! 4. **Kill-at-any-byte during shared-store GC**: a compaction of a
+//!    multi-tenant [`SharedStore`] killed at any point of its commit
+//!    sequence must leave a store that reopens, `resume`s every tenant to
+//!    its persisted head, and checks out every historical commit
+//!    byte-identically — the generation either fully committed or is
+//!    fully absent, never torn.
 //!
 //! Fault decisions are seeded; set `KISHU_TESTKIT_SEED` to replay a run.
 
-use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
 
 use kishu::session::{KishuConfig, KishuSession};
 use kishu::NodeId;
 use kishu_minipy::repr::repr;
-use kishu_storage::{CheckpointStore, FaultPlan, FaultStore, FileStore, MemoryStore};
+use kishu_storage::{CheckpointStore, FaultPlan, FaultStore, FileStore, MemoryStore, SharedStore};
 use kishu_testkit::rng::env_seed;
 
 /// Whether this run uses the test's built-in seed (for which fault-firing
@@ -312,4 +318,169 @@ fn corrupt_reads_fall_back_to_recomputation() {
         flips == 0 || integrity > 0,
         "bit-flips fired but no integrity failures were counted (seed {seed})"
     );
+}
+
+/// Private temp *directory* per test process (the shared store is a
+/// directory of shard/tenant logs plus a manifest, not a single file).
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kishu-crash-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// Clone a store directory, so each simulated crash starts from the same
+/// pre-GC disk image.
+fn copy_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).expect("mkdir");
+    for e in std::fs::read_dir(src).expect("read dir").flatten() {
+        std::fs::copy(e.path(), dst.join(e.file_name())).expect("copy file");
+    }
+}
+
+/// Everything recovery must reproduce for one tenant: its persisted-head
+/// namespace, and the namespace at every committed node.
+struct TenantTruth {
+    name: &'static str,
+    head: BTreeMap<String, String>,
+    at_nodes: Vec<(NodeId, BTreeMap<String, String>)>,
+}
+
+/// GC compaction killed at any byte of its commit sequence: the store must
+/// reopen either fully on the old generation or fully on the new one, and
+/// in both worlds every tenant resumes to its persisted head and every
+/// historical commit checks out byte-identically. Afterwards, a clean GC
+/// pass always converges (reclaiming the garbage the killed pass did not).
+#[test]
+fn gc_compaction_killed_at_any_byte_recovers_every_tenant() {
+    // ---- Build the pre-GC store: two tenants, interleaved cells, two
+    // persists each (the first persist's snapshot becomes GC fodder).
+    let base = temp_dir("gc-base");
+    let scripts: [&[&str]; 2] = [
+        &["data = [7, 7, 7, 7]\n", "a = [1, 2]\n", "a.append(3)\n", "b = a\n", "a.append(4)\n"],
+        &["data = [7, 7, 7, 7]\n", "x = {'k': 1}\n", "x['k'] = 2\n", "y = [9]\n", "del y\n"],
+    ];
+    let mut live: BTreeMap<String, BTreeSet<u64>> = BTreeMap::new();
+    let mut truths: Vec<TenantTruth> = Vec::new();
+    {
+        let store = SharedStore::create(&base, 3).expect("create");
+        let mut sessions: Vec<(&str, KishuSession)> = ["ana", "ben"]
+            .iter()
+            .map(|n| (*n, KishuSession::on_shared(&store, n, KishuConfig::default()).expect("tenant")))
+            .collect();
+        for i in 0..scripts[0].len() {
+            for (ti, (_, s)) in sessions.iter_mut().enumerate() {
+                let r = s.run_cell(scripts[ti][i]).expect("parses");
+                assert!(r.outcome.error.is_none(), "cell {i}");
+                if i == 2 {
+                    s.persist().expect("mid persist (superseded later)");
+                }
+            }
+        }
+        for (name, s) in sessions.iter_mut() {
+            s.persist().expect("final persist");
+            let head = snapshot(s);
+            live.insert(name.to_string(), s.live_blobs());
+            let nodes: Vec<NodeId> = (1..=scripts[0].len() as u32).map(NodeId).collect();
+            let mut at_nodes = Vec::new();
+            for n in nodes {
+                s.checkout(n).expect("pre-crash checkout");
+                at_nodes.push((n, snapshot(s)));
+            }
+            truths.push(TenantTruth { name, head, at_nodes });
+        }
+        store.sync_all().expect("sync");
+    }
+
+    // ---- Reference run (no crash): learn the commit's total byte budget
+    // and confirm there is real garbage to reclaim.
+    let reference = temp_dir("gc-ref");
+    copy_dir(&base, &reference);
+    let expected_reclaimed = {
+        let store = SharedStore::open(&reference).expect("open");
+        let r = store.collect(&live).expect("reference gc");
+        assert!(r.reclaimed_blobs > 0, "superseded snapshots must be garbage: {r:?}");
+        r.reclaimed_blobs
+    };
+    // Budget units consumed by a full commit: every byte of every
+    // new-generation file and of the manifest, plus 1 for the rename.
+    let total_units: u64 = std::fs::read_dir(&reference)
+        .expect("read dir")
+        .flatten()
+        .filter(|e| {
+            let n = e.file_name().to_string_lossy().into_owned();
+            n.contains(".g1.") || n == "MANIFEST.json"
+        })
+        .map(|e| e.metadata().expect("metadata").len())
+        .sum::<u64>()
+        + 1;
+
+    // ---- Kill the compaction at byte budgets spanning the whole commit:
+    // the first bytes of the first shard file, both sides of every file
+    // boundary (a stride finer than the smallest file), the
+    // fully-written-but-unrenamed manifest, and the commit itself.
+    let mut cuts: Vec<u64> = (0..4).collect();
+    let stride = (total_units / 120).max(1);
+    cuts.extend((0..=total_units).step_by(stride as usize));
+    cuts.extend(total_units.saturating_sub(3)..=total_units);
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let work = temp_dir("gc-work");
+    for &cut in &cuts {
+        copy_dir(&base, &work);
+        let store = SharedStore::open(&work).expect("open pre-crash copy");
+        store.set_crash_after_bytes(Some(cut));
+        let outcome = store.collect(&live);
+        drop(store); // the machine dies here
+        let reopened = SharedStore::open(&work).expect("open after crash never fails");
+        match &outcome {
+            Ok(r) => {
+                assert_eq!(reopened.generation(), 1, "cut {cut}: commit went through");
+                assert_eq!(r.reclaimed_blobs, expected_reclaimed, "cut {cut}");
+            }
+            Err(e) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::Interrupted, "cut {cut}: {e}");
+                assert_eq!(
+                    reopened.generation(),
+                    0,
+                    "cut {cut}: a killed commit must leave the old generation"
+                );
+            }
+        }
+        // Stray partial files (half-written new generation, orphaned
+        // MANIFEST.tmp) are swept on open.
+        for e in std::fs::read_dir(&work).expect("read dir").flatten() {
+            let n = e.file_name().to_string_lossy().into_owned();
+            let current = format!(".g{}.log", reopened.generation());
+            assert!(
+                n == "MANIFEST.json" || n.ends_with(&current),
+                "cut {cut}: stray file {n} survived recovery"
+            );
+        }
+        reopened.check_invariants(true).unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        // Every tenant resumes to its persisted head, and every commit in
+        // its history restores byte-identically — GC (computed or killed)
+        // reclaimed nothing reachable.
+        for truth in &truths {
+            let handle = reopened.tenant(truth.name).expect("tenant");
+            let mut s = KishuSession::resume(Box::new(handle), KishuConfig::default())
+                .unwrap_or_else(|e| panic!("cut {cut}: resume {} failed: {e}", truth.name));
+            assert_eq!(snapshot(&s), truth.head, "cut {cut}: {} head", truth.name);
+            for (n, want) in &truth.at_nodes {
+                s.checkout(*n).expect("post-crash checkout");
+                assert_eq!(&snapshot(&s), want, "cut {cut}: {} node {n:?}", truth.name);
+            }
+        }
+        // Recovery converges: a clean pass reclaims exactly what is left.
+        let r = reopened.collect(&live).expect("post-recovery gc");
+        match &outcome {
+            Ok(_) => assert_eq!(r.reclaimed_blobs, 0, "cut {cut}: nothing left after a commit"),
+            Err(_) => assert_eq!(r.reclaimed_blobs, expected_reclaimed, "cut {cut}"),
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::remove_dir_all(&reference).ok();
+    std::fs::remove_dir_all(&work).ok();
 }
