@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro all [--scale S] [--json FILE]
-//! repro table2|fig2|fig4|fig12|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline|restore|multi
+//! repro table2|fig2|fig4|fig12|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline|restore|multi|chunks
 //! repro bench [--scale S] [--out FILE]        # bench-gate metrics JSON
 //! repro bench-compare BASELINE PR [--tolerance T]
 //! repro trace [--scale S] [--out FILE]        # Chrome-trace export of the pipelines
@@ -20,7 +20,8 @@
 use std::io::Write as _;
 
 use kishu_bench::experiments::{
-    checkout, checkpoint, multi, pipeline, restore, robustness, sweeps, tracking, workload_tables,
+    checkout, checkpoint, chunks, multi, pipeline, restore, robustness, sweeps, tracking,
+    workload_tables,
 };
 use kishu_bench::report::Table;
 use kishu_testkit::json::Json;
@@ -65,7 +66,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [all|table2|fig2|fig4|fig12|table4|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline|restore|multi]... [--scale S] [--json FILE]\n\
+                    "usage: repro [all|table2|fig2|fig4|fig12|table4|table5|fig13|fig14|fig15|fig16|table6|fig17|table7|table8|fig18|fig19|faults|pipeline|restore|multi|chunks]... [--scale S] [--json FILE]\n\
                             repro bench [--scale S] [--out FILE]\n\
                             repro bench-compare BASELINE PR [--tolerance T]\n\
                             repro trace [--scale S] [--out FILE]\n\
@@ -326,6 +327,19 @@ fn main() {
     }
     run("faults", &mut || robustness::faults(scale), &mut tables);
     run("multi", &mut || multi::table(scale), &mut tables);
+    // The storage-engine-v2 sweep also writes its machine-readable ratios
+    // (dedup, compression, v1-vs-v2 reduction) under target/.
+    if want("chunks") {
+        eprintln!("[repro] running chunks (scale {scale}) ...");
+        let start = std::time::Instant::now();
+        let t = chunks::table(scale);
+        eprintln!("[repro] chunks done in {:.1}s", start.elapsed().as_secs_f64());
+        println!("{}", t.render());
+        tables.push(t);
+        let path = args.out.clone().unwrap_or_else(|| "target/CHUNKS.json".to_string());
+        write_file(&path, &(chunks::chunks_json(scale).pretty() + "\n"));
+        eprintln!("[repro] wrote {path}");
+    }
     if want("fig13") || want("fig14") {
         eprintln!("[repro] running fig13+fig14 (scale {scale}) ...");
         let start = std::time::Instant::now();

@@ -2,6 +2,7 @@
 
 pub mod checkout;
 pub mod checkpoint;
+pub mod chunks;
 pub mod multi;
 pub mod pipeline;
 pub mod restore;

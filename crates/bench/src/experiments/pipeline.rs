@@ -173,6 +173,10 @@ pub fn bench_json(scale: f64) -> Json {
     // names have no baseline entry, so they cannot fail the gate until the
     // baseline is deliberately refreshed.
     let (multi_metrics, multi_info) = super::multi::bench_fragment(scale);
+    // Storage-engine-v2 byte metrics (lower is better, like the latencies):
+    // a representation regression — v2 suddenly writing v1-sized logs —
+    // gates once the baseline carries these entries.
+    let (chunk_metrics, chunk_info) = super::chunks::bench_fragment(scale);
     let mut metric_pairs = vec![
                 (
                     "ckpt_serial_ns",
@@ -212,11 +216,13 @@ pub fn bench_json(scale: f64) -> Json {
                 ("checkout_apply_ns", Json::Int(co_par.cold_apply_ns as i64)),
     ];
     metric_pairs.extend(multi_metrics);
+    metric_pairs.extend(chunk_metrics);
     Json::obj(vec![
         ("schema", Json::Str("kishu-bench-v1".into())),
         ("scale", Json::Float(scale)),
         ("metrics", Json::obj(metric_pairs)),
         ("multi", multi_info),
+        ("chunks", chunk_info),
     ])
 }
 
@@ -302,7 +308,12 @@ mod tests {
         let off = run(0.05, 2, false);
         assert_eq!(off.blobs_deduped, 0);
         assert_eq!(off.bytes_logical, r.bytes_logical);
-        assert!(off.bytes_written > r.bytes_written);
+        // With truthful put receipts, the dedup-off arm writes the same
+        // physical bytes: the store's content-addressed id layer catches
+        // the repeats anyway and its receipt says so. Session-level dedup
+        // is a metadata optimization (skip the put entirely), visible in
+        // `blobs_deduped`, not in physical bytes.
+        assert_eq!(off.bytes_written, r.bytes_written);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use kishu_minipy::{CellOutcome, Interp, RunError};
 use kishu_pickle::{dumps, loads_precharged};
 use kishu_storage::{
     content_key, crc32::crc32, BlobCache, BlobId, BlobIndex, CheckpointStore, ContentKey,
-    MemoryStore, StoreStats,
+    MemoryStore, PutReceipt, StoreStats,
 };
 use kishu_trace::Trace;
 
@@ -200,10 +200,18 @@ pub struct CellMetrics {
     /// Co-variables whose sealed bytes matched an already-written blob and
     /// were deduplicated away (no store write happened).
     pub blobs_deduped: usize,
-    /// Physical bytes actually handed to the store this cell (sealed
-    /// payloads minus dedup hits). `checkpoint_bytes` keeps counting the
-    /// logical serialized size.
+    /// Physical bytes the store reported appending for this cell (sealed
+    /// payloads minus session-level dedup hits; under the v2 chunked
+    /// representation, minus chunk dedup and compression too).
+    /// `checkpoint_bytes` keeps counting the logical serialized size.
     pub bytes_written: u64,
+    /// New chunks this cell's puts stored (0 on stores without a chunk
+    /// layer, including tenant views of a shared store).
+    pub chunks_written: u64,
+    /// Chunks this cell's puts shared with already-stored data.
+    pub chunks_deduped: u64,
+    /// Bytes the in-tree compressor saved on this cell's written chunks.
+    pub bytes_compressed: u64,
     /// Of `checkpoint_time`, the nanoseconds spent serializing + sealing
     /// (the `ckpt.serialize` span — phase 2 of the write pipeline).
     pub serialize_ns: u64,
@@ -262,6 +270,21 @@ impl SessionMetrics {
         self.cells.iter().map(|c| c.bytes_written).sum()
     }
 
+    /// Total new chunks stored across cells (0 without a chunk layer).
+    pub fn total_chunks_written(&self) -> u64 {
+        self.cells.iter().map(|c| c.chunks_written).sum()
+    }
+
+    /// Total chunk dedup hits across cells.
+    pub fn total_chunks_deduped(&self) -> u64 {
+        self.cells.iter().map(|c| c.chunks_deduped).sum()
+    }
+
+    /// Total bytes compression saved across cells.
+    pub fn total_bytes_compressed(&self) -> u64 {
+        self.cells.iter().map(|c| c.bytes_compressed).sum()
+    }
+
     /// Total serialize+seal nanoseconds across cells (phase 2 of the write
     /// pipeline, summed from the per-cell `ckpt.serialize` spans).
     pub fn total_serialize_ns(&self) -> u64 {
@@ -298,8 +321,16 @@ pub struct CellReport {
     /// Co-variables deduplicated against an already-written blob (their
     /// checkpoint became metadata-only).
     pub blobs_deduped: usize,
-    /// Physical bytes actually handed to the store (dedup hits excluded).
+    /// Physical bytes the store reported appending (dedup hits excluded;
+    /// chunk dedup and compression already subtracted where the store runs
+    /// the v2 representation).
     pub bytes_written: u64,
+    /// New chunks stored for this cell (0 without a chunk layer).
+    pub chunks_written: u64,
+    /// Chunk dedup hits for this cell.
+    pub chunks_deduped: u64,
+    /// Bytes compression saved on this cell's written chunks.
+    pub bytes_compressed: u64,
     /// `checkpoint_time` in integer nanoseconds, for JSON report emission
     /// and the bench comparator (no `Duration` parsing downstream).
     ///
@@ -549,7 +580,7 @@ impl KishuSession {
     /// content index when enabled. Returns the blob id and whether the
     /// write was deduplicated away. Only successful full writes are
     /// indexed — a dropped blob must never satisfy a later lookup.
-    fn put_sealed(&mut self, sealed: &[u8]) -> io::Result<(u64, bool)> {
+    fn put_sealed(&mut self, sealed: &[u8]) -> io::Result<(PutReceipt, bool)> {
         let mut sp = self.trace.span("store.put");
         sp.arg("bytes", sealed.len());
         self.trace.observe("blob.bytes", sealed.len() as u64);
@@ -559,18 +590,20 @@ impl KishuSession {
                 self.trace.counter("blob.dedup_hits", 1);
                 sp.arg("dedup", true);
                 sp.arg("blob", id);
-                return Ok((id, true));
+                // A session-level dedup hit writes nothing: the receipt is
+                // all-zero physical attribution, not the opaque default.
+                return Ok((PutReceipt { id, ..PutReceipt::default() }, true));
             }
         }
         let retries = self.config.store_retries;
         let store = &mut self.store;
         let trace = &self.trace;
-        let id = retry_io(trace, retries, || store.put(sealed))?;
-        sp.arg("blob", id);
+        let receipt = retry_io(trace, retries, || store.put_with_receipt(sealed))?;
+        sp.arg("blob", receipt.id);
         if let Some(key) = key {
-            self.blob_index.record(key, id);
+            self.blob_index.record(key, receipt.id);
         }
-        Ok((id, false))
+        Ok((receipt, false))
     }
 
     /// Session measurements.
@@ -599,6 +632,9 @@ impl KishuSession {
         let mut payload = GRAPH_BLOB_MAGIC.to_vec();
         payload.extend_from_slice(self.graph.to_json().dump().as_bytes());
         let id = self.store.put(&seal_blob(&payload))?;
+        // The snapshot is the resume anchor — it must never sit in a
+        // group-commit buffer behind the blobs it references.
+        self.store.flush_barrier()?;
         self.snapshot_blobs.push(id);
         Ok(())
     }
@@ -758,6 +794,9 @@ impl KishuSession {
         let mut write_ns = 0u64;
         let mut checkpoint_bytes = 0u64;
         let mut bytes_written = 0u64;
+        let mut chunks_written = 0u64;
+        let mut chunks_deduped = 0u64;
+        let mut bytes_compressed = 0u64;
         let mut blobs_dropped = 0usize;
         let mut blobs_deduped = 0usize;
         let mut committed: Option<NodeId> = None;
@@ -826,14 +865,17 @@ impl KishuSession {
                 let Some(slot) = slot else { continue };
                 match &dumped[*slot] {
                     Some((sealed, len)) => match self.put_sealed(sealed) {
-                        Ok((id, deduped)) => {
+                        Ok((receipt, deduped)) => {
                             checkpoint_bytes += len;
                             if deduped {
                                 blobs_deduped += 1;
                             } else {
-                                bytes_written += sealed.len() as u64;
+                                bytes_written += receipt.bytes_written;
+                                chunks_written += receipt.chunks_written;
+                                chunks_deduped += receipt.chunks_deduped;
+                                bytes_compressed += receipt.bytes_compressed;
                             }
-                            record.blob = Some(id);
+                            record.blob = Some(receipt.id);
                             record.bytes = *len;
                         }
                         // Store failure even after retries: drop the blob,
@@ -845,6 +887,14 @@ impl KishuSession {
                     // fallback recomputation (§5.1).
                     None => blobs_dropped += 1,
                 }
+            }
+            // Group-commit barrier: the cell's burst of puts may be sitting
+            // in a store-side buffer; everything must be reopenable before
+            // the node commits. Barrier failure is not a data-loss event by
+            // itself (the blobs are unordered, not gone), so it degrades
+            // like any store hiccup: count it, keep the session alive.
+            if self.store.flush_barrier().is_err() {
+                self.trace.counter("store.barrier_failed", 1);
             }
             write_ns = write_sp.end();
             let node = self
@@ -884,6 +934,9 @@ impl KishuSession {
             blobs_dropped,
             blobs_deduped,
             bytes_written,
+            chunks_written,
+            chunks_deduped,
+            bytes_compressed,
             serialize_ns,
             write_ns,
         });
@@ -898,6 +951,9 @@ impl KishuSession {
             blobs_dropped,
             blobs_deduped,
             bytes_written,
+            chunks_written,
+            chunks_deduped,
+            bytes_compressed,
             ckpt_wall_ns,
             serialize_ns,
             write_ns,
@@ -958,8 +1014,8 @@ impl KishuSession {
         for (((key, _), node), dump) in batch.iter().zip(nodes).zip(dumped) {
             let dropped = match dump {
                 Some((sealed, len)) => match self.put_sealed(&sealed) {
-                    Ok((id, _deduped)) => {
-                        self.graph.set_stored(node, key, id, len);
+                    Ok((receipt, _deduped)) => {
+                        self.graph.set_stored(node, key, receipt.id, len);
                         flushed += 1;
                         false
                     }
@@ -979,6 +1035,11 @@ impl KishuSession {
                     m.blobs_dropped += 1;
                 }
             }
+        }
+        // The flushed blobs back already-committed nodes: order them out of
+        // any group-commit buffer before returning.
+        if self.store.flush_barrier().is_err() {
+            self.trace.counter("store.barrier_failed", 1);
         }
         flushed
     }

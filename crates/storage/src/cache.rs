@@ -15,8 +15,9 @@
 //!   a hit can skip the store read *and* the integrity check;
 //! * eviction is strict LRU by payload bytes against a fixed capacity;
 //!   an entry larger than the whole capacity is never admitted;
-//! * `capacity == 0` disables the cache entirely (every lookup misses,
-//!   every insert is dropped) — the knob's documented "off" position;
+//! * `capacity == 0` disables the cache entirely (every lookup returns
+//!   nothing and counts as `CacheStats::disabled`, not as a miss; every
+//!   insert is dropped) — the knob's documented "off" position;
 //! * the cache is advisory and deterministic: identical call sequences
 //!   produce identical hit/miss/eviction sequences, which the parallel
 //!   checkout differential suite relies on.
@@ -31,8 +32,14 @@ use crate::dedup::ContentKey;
 pub struct CacheStats {
     /// Lookups that returned a payload.
     pub hits: u64,
-    /// Lookups that found nothing (including every lookup while disabled).
+    /// Lookups that found nothing *while the cache was enabled*. Lookups
+    /// against a disabled cache are not misses — the cache never had a
+    /// chance — and counting them here used to poison miss-rate numbers in
+    /// cache-off comparisons; they are tracked in `disabled` instead.
     pub misses: u64,
+    /// Lookups made while the cache was disabled (`capacity == 0`).
+    /// Excluded from hit/miss-rate derivations.
+    pub disabled: u64,
     /// Entries evicted to make room.
     pub evictions: u64,
     /// Entries currently resident.
@@ -54,6 +61,7 @@ pub struct BlobCache {
     bytes: u64,
     hits: u64,
     misses: u64,
+    disabled: u64,
     evictions: u64,
     /// Observability only: hit/miss/eviction counters mirror into it.
     trace: kishu_trace::Trace,
@@ -86,6 +94,13 @@ impl BlobCache {
 
     /// Look `key` up, refreshing its recency on a hit.
     pub fn get(&mut self, key: ContentKey) -> Option<Vec<u8>> {
+        if self.capacity == 0 {
+            // A disabled cache can't miss — don't let the "off" knob
+            // masquerade as a 100% miss rate.
+            self.disabled += 1;
+            self.trace.counter("cache.disabled_lookup", 1);
+            return None;
+        }
         match self.entries.get_mut(&key) {
             Some((tick, payload)) => {
                 self.recency.remove(tick);
@@ -150,6 +165,7 @@ impl BlobCache {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
+            disabled: self.disabled,
             evictions: self.evictions,
             entries: self.entries.len() as u64,
             bytes: self.bytes,
@@ -180,7 +196,12 @@ mod tests {
         let k = content_key(b"x");
         c.insert(k, b"x");
         assert_eq!(c.get(k), None);
-        assert_eq!(c.stats().entries, 0);
+        assert_eq!(c.get(k), None);
+        let s = c.stats();
+        assert_eq!(s.entries, 0);
+        // Disabled lookups are their own counter — not misses, so a
+        // cache-off run derives a 0/0 miss rate instead of 100%.
+        assert_eq!((s.hits, s.misses, s.disabled), (0, 0, 2));
     }
 
     #[test]

@@ -585,11 +585,19 @@ const PUT_KEY_SEED: u64 = 0xFA0_175_EED;
 
 impl CheckpointStore for FaultStore {
     fn put(&mut self, bytes: &[u8]) -> io::Result<BlobId> {
+        self.put_with_receipt(bytes).map(|r| r.id)
+    }
+
+    // The injection logic lives here so `put` and `put_with_receipt` share
+    // one decision point: the same payload draws the same fault under
+    // either entry point, and a receipt-requesting caller (the session's
+    // attribution path) perturbs nothing.
+    fn put_with_receipt(&mut self, bytes: &[u8]) -> io::Result<crate::PutReceipt> {
         let d = self.decide(FaultOp::Put, xxh64(bytes, PUT_KEY_SEED));
         let mut sp = self.op_span("fault.put", &d);
         sp.arg("bytes", bytes.len());
         match d.kind {
-            None => self.inner.put(bytes),
+            None => self.inner.put_with_receipt(bytes),
             Some(kind @ FaultKind::Transient) => {
                 let idx = self.record(kind, &d, FaultOp::Put, None);
                 Self::fault_args(&mut sp, kind, idx);
@@ -701,6 +709,19 @@ impl CheckpointStore for FaultStore {
                 Err(Self::permanent_err(FaultOp::Sync))
             }
         }
+    }
+
+    fn flush_barrier(&mut self) -> io::Result<()> {
+        // No fault draw: the barrier is an ordering point, not a media
+        // operation — media failures inject at `put`/`sync`, and an inner
+        // store's own flush errors still surface through this forward.
+        // Keeping it draw-free also keeps fault ledgers identical whether
+        // or not a store buffers (group commit on vs off).
+        self.inner.flush_barrier()
+    }
+
+    fn chunk_stats(&self) -> Option<crate::chunk::ChunkStats> {
+        self.inner.chunk_stats()
     }
 
     fn attach_trace(&mut self, trace: &Trace) {

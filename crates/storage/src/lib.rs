@@ -31,6 +31,7 @@
 //!   manifest rename.
 
 pub mod cache;
+pub mod chunk;
 pub mod crc32;
 pub mod dedup;
 pub mod fault_store;
@@ -40,6 +41,7 @@ pub mod memory_store;
 pub mod shared;
 
 pub use cache::{BlobCache, CacheStats};
+pub use chunk::{ChunkConfig, ChunkStats};
 pub use dedup::{content_key, BlobIndex, ContentKey};
 pub use gc::GcReport;
 pub use fault_store::{
@@ -67,6 +69,41 @@ pub struct StoreStats {
     pub physical_bytes: u64,
 }
 
+/// Physical attribution of one [`CheckpointStore::put_with_receipt`] call.
+///
+/// `bytes_written` is what the store *physically* appended for this put —
+/// under chunking/compression that is the stored bytes of the chunks this
+/// payload introduced (plus framing), not the logical payload length. A
+/// fully deduplicated put reports `bytes_written == 0`. Stores without
+/// chunk-level accounting (and tenant views, which must stay
+/// observationally private) return the opaque receipt: logical length,
+/// zero chunk counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PutReceipt {
+    /// Id the payload resolved to.
+    pub id: BlobId,
+    /// Physical bytes this put appended to the store.
+    pub bytes_written: u64,
+    /// New chunks this put stored.
+    pub chunks_written: u64,
+    /// Chunks this put shared with already-stored data.
+    pub chunks_deduped: u64,
+    /// Bytes compression saved on the written portion (raw − stored).
+    pub bytes_compressed: u64,
+}
+
+impl PutReceipt {
+    /// The receipt a store without physical attribution reports: the put
+    /// "wrote" its logical length and nothing chunked.
+    pub fn opaque(id: BlobId, len: usize) -> Self {
+        PutReceipt {
+            id,
+            bytes_written: len as u64,
+            ..PutReceipt::default()
+        }
+    }
+}
+
 /// A blob store for checkpoint data.
 ///
 /// All methods in the evaluation (Kishu, CRIU, DumpSession, ...) write
@@ -75,6 +112,16 @@ pub struct StoreStats {
 pub trait CheckpointStore {
     /// Append a blob, returning its id.
     fn put(&mut self, bytes: &[u8]) -> io::Result<BlobId>;
+
+    /// Append a blob and report its physical attribution. Identical to
+    /// [`CheckpointStore::put`] in every observable store effect (same id
+    /// assignment, same bytes readable back, same error behavior) — the
+    /// receipt is extra bookkeeping, never extra semantics. The default
+    /// implementation wraps `put` with the opaque receipt.
+    fn put_with_receipt(&mut self, bytes: &[u8]) -> io::Result<PutReceipt> {
+        let id = self.put(bytes)?;
+        Ok(PutReceipt::opaque(id, bytes.len()))
+    }
 
     /// Read a blob back. Fails if the id is unknown or the record fails its
     /// integrity check.
@@ -88,6 +135,25 @@ pub trait CheckpointStore {
 
     /// Flush buffered writes to the durable medium (no-op for memory).
     fn sync(&mut self) -> io::Result<()>;
+
+    /// Group-commit barrier: everything put so far must be readable by a
+    /// store reopened after this call returns (modulo the medium's own
+    /// durability, which [`CheckpointStore::sync`] governs). Stores that
+    /// buffer puts (group commit) flush here; everything else is already
+    /// ordered, so the default is a no-op. Called by the session at each
+    /// checkpoint commit point.
+    fn flush_barrier(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Chunk-level accounting, for stores running the v2 chunked
+    /// representation. `None` means the store has no chunk layer (or it is
+    /// switched off) — callers must not infer anything about logical
+    /// contents from this, it is physical-representation observability
+    /// only.
+    fn chunk_stats(&self) -> Option<chunk::ChunkStats> {
+        None
+    }
 
     /// Adopt an observability handle: subsequent operations may record
     /// spans/metrics into it. Purely observational — attaching a trace
@@ -144,7 +210,10 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.blobs, 3);
         assert_eq!(stats.payload_bytes, 5 + 100_000);
-        assert!(stats.physical_bytes >= stats.payload_bytes);
+        // Physical bytes are representation-dependent: framing adds,
+        // chunk dedup and compression subtract. Only positivity is a
+        // contract here.
+        assert!(stats.physical_bytes > 0);
         assert!(store.get(999).is_err());
     }
 

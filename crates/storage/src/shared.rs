@@ -26,6 +26,15 @@
 //!   **observationally private**: every read, id, size, and error a
 //!   tenant sees is byte-identical to running alone — the property
 //!   `tests/multi_tenant.rs` proves differentially.
+//! * **Chunk dedup under the id layer** — shard backends run the
+//!   storage-engine-v2 representation (content-defined chunking +
+//!   per-chunk compression, [`crate::chunk`]), so two tenants' *distinct*
+//!   blobs that share most of their bytes (the same dataframe, one cell's
+//!   edit apart) share chunks physically. Chunk dedup scope is the shard:
+//!   blob-level routing sends whole payloads to one shard, so similar
+//!   payloads that route differently don't share chunks — an accepted
+//!   trade against cross-shard coordination on every chunk. Aggregate
+//!   counters: [`SharedStore::chunk_stats`].
 //! * **GC** — see [`crate::gc`]: a stop-the-world mark-and-sweep pass over
 //!   caller-supplied live sets that compacts shards into a new generation
 //!   and commits via an atomic manifest rename, crash-consistent with
@@ -83,11 +92,28 @@ pub(crate) struct Phys {
     pub(crate) idx: u32,
 }
 
-/// Which shard a content key routes to: the top bits of the hash — the
-/// "content-key prefix" — modulo the shard count. A pure function, so a
-/// tenant's shard assignment for a payload never depends on its neighbors.
+/// Which shard a content key routes to. A pure function, so a tenant's
+/// shard assignment for a payload never depends on its neighbors.
+///
+/// The full 64-bit hash is remixed with the splitmix64 finalizer and then
+/// reduced by multiply-shift. The original routing (`(hash >> 48) % n`)
+/// had two skews: it consulted only the top 16 hash bits, and the modulo
+/// was biased for non-power-of-two shard counts; both showed up as uneven
+/// shard loads. The finalizer spreads every input bit over the output and
+/// the multiply-shift reduction is bias-free for any `n`.
+///
+/// **Compat:** changing this function re-routes *future* puts only.
+/// Existing blobs are always read through their tenants' persisted
+/// `(shard, idx)` mappings — never by recomputing `shard_of` — so logs
+/// written under the old routing stay fully readable on `open`; the worst
+/// case is a payload stored on two shards (old copy + newly routed copy)
+/// until GC compacts, which costs space, never correctness.
 pub(crate) fn shard_of(key: ContentKey, nshards: usize) -> usize {
-    (key.0 >> 48) as usize % nshards.max(1)
+    let mut z = key.0;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z as u128 * nshards.max(1) as u128) >> 64) as usize
 }
 
 /// One shard: its ordered payload log plus the store-wide dedup index and
@@ -252,12 +278,22 @@ pub(crate) fn remove_stale_generations(dir: &Path, keep_gen: u64) {
 #[allow(clippy::arc_with_non_send_sync)]
 impl SharedStore {
     /// Fresh in-memory shared store with `nshards` shards (clamped ≥ 1).
+    /// Shard chunking follows the `KISHU_CHUNKING`/`KISHU_COMPRESS` env
+    /// knobs; use [`SharedStore::in_memory_with`] to pin it.
     pub fn in_memory(nshards: usize) -> Self {
+        Self::in_memory_with(nshards, crate::chunk::ChunkConfig::from_env())
+    }
+
+    /// Fresh in-memory shared store with an explicit per-shard chunk
+    /// configuration (env-independent; what tests asserting chunk-layer
+    /// behaviour should use).
+    pub fn in_memory_with(nshards: usize, cfg: crate::chunk::ChunkConfig) -> Self {
         let nshards = nshards.max(1);
         let shards = (0..nshards)
             .map(|_| {
                 Mutex::new(ShardState {
-                    store: Box::new(MemoryStore::new()) as Box<dyn CheckpointStore>,
+                    store: Box::new(MemoryStore::with_config(cfg.clone()))
+                        as Box<dyn CheckpointStore>,
                     dedup: HashMap::new(),
                     refs: Vec::new(),
                     lens: Vec::new(),
@@ -462,6 +498,28 @@ impl SharedStore {
             total.physical_bytes += st.physical_bytes;
         }
         total
+    }
+
+    /// Aggregate chunk-level accounting across all shards, for shards
+    /// running the v2 chunked representation. `None` when no shard has a
+    /// chunk layer. Like [`SharedStore::stats`], this is the operator's
+    /// view — tenant handles never expose chunk counters (their
+    /// [`CheckpointStore::chunk_stats`] stays `None`), because physical
+    /// chunk sharing is exactly the cross-tenant signal the privacy
+    /// contract forbids leaking.
+    pub fn chunk_stats(&self) -> Option<crate::ChunkStats> {
+        let mut total = crate::ChunkStats::default();
+        let mut any = false;
+        for shard in &self.inner.shards {
+            if let Some(cs) = shard.lock().expect("shard lock").store.chunk_stats() {
+                any = true;
+                total.chunks += cs.chunks;
+                total.chunk_refs += cs.chunk_refs;
+                total.raw_bytes += cs.raw_bytes;
+                total.stored_bytes += cs.stored_bytes;
+            }
+        }
+        any.then_some(total)
     }
 
     /// Sum of every tenant's logical payload bytes (what N private stores
@@ -690,6 +748,28 @@ impl CheckpointStore for TenantHandle {
         Ok(())
     }
 
+    fn flush_barrier(&mut self) -> io::Result<()> {
+        // Group-commit barrier: drain every shard's pending buffer and the
+        // tenant's mapping log so a reopened store sees everything put so
+        // far. No fault draw and no per-put work — purely an ordering
+        // point, matching the trait contract.
+        for shard in &self.inner.shards {
+            shard.lock().expect("shard lock").store.flush_barrier()?;
+        }
+        let mut meta = self.inner.meta.lock().expect("meta lock");
+        if let Some(log) = &mut meta.tenants.get_mut(&self.name).expect("tenant registered").log {
+            log.flush_barrier()?;
+        }
+        Ok(())
+    }
+
+    // Note: `put_with_receipt` and `chunk_stats` deliberately keep their
+    // opaque trait defaults. A truthful receipt ("your put deduped against
+    // an existing chunk") or chunk counters would tell a tenant what its
+    // neighbors have stored — the exact side channel the observational-
+    // privacy contract closes. Physical truth is an operator view:
+    // [`SharedStore::stats`] / [`SharedStore::chunk_stats`].
+
     fn attach_trace(&mut self, trace: &Trace) {
         *self.inner.trace.lock().expect("trace lock") = trace.clone();
     }
@@ -822,6 +902,80 @@ mod tests {
         // clamp bounds via the constant contract.
         let n = default_shard_count();
         assert!((1..=64).contains(&n));
+    }
+
+    #[test]
+    fn shard_routing_is_uniform_for_any_shard_count() {
+        // Regression for the original router, which consulted only the top
+        // 16 hash bits and reduced with a biased modulo: over real content
+        // keys some shards ran hot while others sat near-empty. With the
+        // remixed multiply-shift router, 10k distinct keys must land close
+        // to uniformly for small prime and non-prime shard counts alike.
+        let keys: Vec<ContentKey> =
+            (0..10_000u32).map(|i| content_key(format!("cell output #{i}").as_bytes())).collect();
+        for &n in &[3usize, 5, 7] {
+            let mut loads = vec![0u64; n];
+            for &k in &keys {
+                let s = shard_of(k, n);
+                assert!(s < n, "routing must stay in range");
+                loads[s] += 1;
+            }
+            let max = *loads.iter().max().expect("nonempty");
+            let min = *loads.iter().min().expect("nonempty");
+            assert!(min > 0, "n={n}: some shard got nothing: {loads:?}");
+            assert!(
+                (max as f64) / (min as f64) < 1.25,
+                "n={n}: shard load skew {loads:?} (max/min = {:.3})",
+                max as f64 / min as f64
+            );
+        }
+    }
+
+    #[test]
+    fn shared_chunk_stats_aggregate_cross_tenant_chunk_dedup() {
+        // One shard so the two near-identical (different content key, hence
+        // possibly different shard) blobs land in the same chunk ledger —
+        // chunk dedup scope is the shard, see the module docs. Config is
+        // pinned so the `KISHU_CHUNKING=0` CI matrix leg can't turn the
+        // layer off under the test.
+        let store = SharedStore::in_memory_with(1, crate::chunk::ChunkConfig::default());
+        let mut a = store.tenant("alice").expect("tenant");
+        let mut b = store.tenant("bob").expect("tenant");
+        let big: Vec<u8> = (0..150_000u32).map(|i| (i % 251) as u8 ^ (i / 997) as u8).collect();
+        a.put(&big).expect("put");
+        // Bob writes a small mutation of Alice's payload: different content
+        // key (so blob-level dedup misses) but nearly all chunks shared.
+        let mut edited = big.clone();
+        edited[75_000] ^= 0x5A;
+        b.put(&edited).expect("put");
+        // Tenant views stay opaque — chunk counters would leak neighbors.
+        assert_eq!(a.chunk_stats(), None);
+        assert_eq!(b.chunk_stats(), None);
+        let cs = store.chunk_stats().expect("pinned config chunks");
+        assert!(cs.chunk_refs > cs.chunks, "cross-tenant chunk dedup fired: {cs:?}");
+        assert!(
+            store.stats().physical_bytes < (big.len() + edited.len()) as u64 / 2,
+            "two near-identical blobs must cost well under their logical sum"
+        );
+        store.check_invariants(true).expect("invariants");
+    }
+
+    #[test]
+    fn tenant_flush_barrier_makes_puts_reopenable() {
+        let dir = temp_dir("barrier");
+        {
+            let store = SharedStore::create(&dir, 2).expect("create");
+            let mut a = store.tenant("alice").expect("tenant");
+            a.put(b"barrier me").expect("put");
+            a.flush_barrier().expect("barrier");
+            // No sync_all: the barrier alone must order the bytes into the
+            // logs (durability modulo the OS, which tests can't force here).
+        }
+        let store = SharedStore::open(&dir).expect("open");
+        let a = store.tenant("alice").expect("tenant");
+        assert_eq!(a.blob_count(), 1);
+        assert_eq!(a.get(0).expect("get"), b"barrier me");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -19,11 +19,15 @@
 //!   decisions.
 //! * [`pool`] — a scoped-thread worker pool returning results in job
 //!   order; replaces `rayon`/`threadpool` for the checkpoint pipeline.
+//! * [`compress`] — a canonical LZ77-style compressor with a varint +
+//!   literal/match token format; replaces `lz4`/`zstd` bindings for the
+//!   storage engine's per-chunk compression.
 //!
 //! The [`prelude`] mirrors `proptest::prelude` closely enough that porting
 //! a suite is a one-line import change.
 
 pub mod bench;
+pub mod compress;
 pub mod hash;
 pub mod json;
 pub mod pool;

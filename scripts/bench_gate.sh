@@ -46,4 +46,24 @@ else
     rm -f "$WARNINGS_FILE"
 fi
 
+# Storage-engine-v2 gate: when `repro chunks` has emitted its JSON (ci.sh
+# runs it right before this gate), the v2-vs-v1 physical-bytes reduction on
+# the mutate-slightly workload must hold the acceptance bar. This is a
+# representation property, not a latency, so it gets an absolute floor
+# rather than the relative tolerance above.
+CHUNKS="target/CHUNKS.json"
+MIN_REDUCTION="${KISHU_CHUNKS_MIN_REDUCTION:-2.0}"
+if [ -f "$CHUNKS" ]; then
+    RED="$(sed -n 's/.*"reduction": *\([0-9.][0-9.eE+-]*\).*/\1/p' "$CHUNKS" | head -n 1)"
+    if [ -z "$RED" ]; then
+        echo "bench-gate: $CHUNKS present but has no \"reduction\" field" >&2
+        exit 1
+    fi
+    if awk -v r="$RED" -v m="$MIN_REDUCTION" 'BEGIN { exit !(r < m) }'; then
+        echo "bench-gate: storage engine v2 physical reduction ${RED}x is below the ${MIN_REDUCTION}x floor (see $CHUNKS)" >&2
+        exit 1
+    fi
+    echo "bench-gate: storage engine v2 physical reduction ${RED}x (floor ${MIN_REDUCTION}x) OK"
+fi
+
 exit "${STATUS:-0}"

@@ -65,7 +65,10 @@ stage "trace smoke (validate target/trace.json parses with expected spans)"
 cargo run -q --release --offline -p kishu-bench --bin repro -- \
     trace-validate target/trace.json
 
-stage "bench gate (vs BENCH_baseline.json)"
+stage "storage engine v2 sweep (repro chunks -> target/CHUNKS.json)"
+cargo run -q --release --offline -p kishu-bench --bin repro -- chunks
+
+stage "bench gate (vs BENCH_baseline.json; CHUNKS.json reduction floor)"
 ./scripts/bench_gate.sh
 
 if [ "$QUICK" != 1 ]; then
@@ -97,6 +100,26 @@ if [ "$QUICK" != 1 ]; then
         echo "error: multi-tenant suite failed; replay with KISHU_TESTKIT_SEED=$FAULT_SEED" >&2
         exit 1
     fi
+
+    # Storage-engine-v2 kill-switch matrix: chunking/compression must be
+    # representation-only, so the storage crate and every integration
+    # differential run with the layer forced off (KISHU_CHUNKING=0, the v1
+    # bit-identical path) and forced on, under the same pinned seed, at
+    # both ends of the worker matrix. The workspace passes above already
+    # cover the default-on/default-seed paths; this matrix pins everything
+    # that could mask a chunking-dependent divergence.
+    stage "storage engine v2 matrix (KISHU_CHUNKING={0,1} x workers {1,4}, seed $FAULT_SEED)"
+    for CHUNKING in 0 1; do
+        for W in 1 4; do
+            if ! KISHU_CHUNKING=$CHUNKING KISHU_TESTKIT_SEED="$FAULT_SEED" \
+                KISHU_CHECKPOINT_WORKERS=$W KISHU_RESTORE_WORKERS=$W \
+                cargo test -q --offline -p kishu-storage -p kishu-repro; then
+                echo "error: v2 matrix failed at KISHU_CHUNKING=$CHUNKING workers=$W;" \
+                     "replay with KISHU_TESTKIT_SEED=$FAULT_SEED" >&2
+                exit 1
+            fi
+        done
+    done
 fi
 
 if cargo clippy --version >/dev/null 2>&1; then

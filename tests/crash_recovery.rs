@@ -64,30 +64,52 @@ fn snapshot(s: &KishuSession) -> BTreeMap<String, String> {
 /// FileStore record framing: marker byte + u32 len + u32 crc.
 const HEADER_LEN: u64 = 9;
 
-/// End offsets of each record in a FileStore log, parsed from the raw bytes.
+/// End offsets of each *blob-completing* record in a FileStore log, parsed
+/// from the raw bytes. A v1 record (`K`) or a chunk manifest (`M`) completes
+/// a blob; a chunk record (`C`) does not — a blob's chunks precede its
+/// manifest, so a log cut after some chunks but before their manifest holds
+/// no new blob (the orphan chunks are harmless dedup fodder).
 fn record_ends(log: &[u8]) -> Vec<u64> {
     let mut ends = Vec::new();
     let mut off = 0u64;
     while off + HEADER_LEN <= log.len() as u64 {
         let o = off as usize;
-        assert_eq!(log[o], 0x4B, "record marker");
+        let marker = log[o];
+        assert!(
+            matches!(marker, 0x4B | 0x43 | 0x4D),
+            "unknown record marker {marker:#x}"
+        );
         let len = u32::from_le_bytes([log[o + 1], log[o + 2], log[o + 3], log[o + 4]]) as u64;
         off += HEADER_LEN + len;
         assert!(off <= log.len() as u64, "log ends on a record boundary");
-        ends.push(off);
+        if marker != 0x43 {
+            ends.push(off);
+        }
     }
     ends
 }
 
 #[test]
 fn kill_at_any_byte_recovers_the_longest_intact_prefix() {
-    // A log with records of assorted sizes, including empty and multi-KB.
+    // A log with records of assorted sizes: empty through multi-KB, the
+    // large ones crossing the chunking threshold so the log mixes v1
+    // records with chunk + manifest sequences (one compressible payload,
+    // one incompressible, so both stored-chunk flags appear).
+    let mut rng_state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut rng = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        (rng_state >> 24) as u8
+    };
     let payloads: Vec<Vec<u8>> = vec![
         vec![],
         vec![0xAA; 1],
         (0..=16u8).collect(),
         vec![0x55; 64],
+        (0..6000u32).map(|i| (i % 251) as u8).collect(),
         vec![1, 2, 3],
+        (0..4000).map(|_| rng()).collect(),
         (0..130u8).map(|b| b.wrapping_mul(7)).collect(),
     ];
     let full = temp_path("kill.full.log");

@@ -154,7 +154,7 @@ fn run_restore(
     seed: u64,
     workers: usize,
     cache_bytes: u64,
-) -> (Vec<CoFingerprint>, Vec<BTreeMap<String, String>>) {
+) -> (Vec<CoFingerprint>, Vec<BTreeMap<String, String>>, kishu_storage::CacheStats) {
     let config = KishuConfig {
         checkpoint_workers: 1,
         restore_workers: workers,
@@ -176,7 +176,8 @@ fn run_restore(
         fingerprints.push(co_fingerprint(&r));
         snapshots.push(snapshot(&s));
     }
-    (fingerprints, snapshots)
+    let cache = s.read_cache_stats();
+    (fingerprints, snapshots, cache)
 }
 
 /// Same itinerary over a fault-injecting store (read-heavy fault plan);
@@ -226,9 +227,9 @@ proptest! {
     #[test]
     fn parallel_checkout_matches_serial_oracle(seed in any::<u64>()) {
         let cells = scripted_cells(seed, 24);
-        let (oracle_fp, oracle_snaps) = run_restore(&cells, seed, 1, CACHE_BYTES);
+        let (oracle_fp, oracle_snaps, _) = run_restore(&cells, seed, 1, CACHE_BYTES);
         for workers in WORKER_COUNTS {
-            let (fp, snaps) = run_restore(&cells, seed, workers, CACHE_BYTES);
+            let (fp, snaps, _) = run_restore(&cells, seed, workers, CACHE_BYTES);
             prop_assert_eq!(&fp, &oracle_fp, "reports diverged at restore_workers={}", workers);
             prop_assert_eq!(&snaps, &oracle_snaps, "namespaces diverged at restore_workers={}", workers);
         }
@@ -256,8 +257,8 @@ proptest! {
     #[test]
     fn read_cache_is_transparent(seed in any::<u64>()) {
         let cells = scripted_cells(seed, 18);
-        let (with_fp, with_snaps) = run_restore(&cells, seed, 4, CACHE_BYTES);
-        let (without_fp, without_snaps) = run_restore(&cells, seed, 4, 0);
+        let (with_fp, with_snaps, with_cache) = run_restore(&cells, seed, 4, CACHE_BYTES);
+        let (without_fp, without_snaps, off_cache) = run_restore(&cells, seed, 4, 0);
         prop_assert_eq!(
             without_cache_field(&with_fp),
             without_cache_field(&without_fp),
@@ -266,6 +267,13 @@ proptest! {
         prop_assert_eq!(&with_snaps, &without_snaps, "cache changed restored state");
         // And with the cache off, nothing may ever report as cached.
         prop_assert!(without_fp.iter().all(|f| f.8 == 0), "cache off but hits reported");
+        // The disabled cache is not a 100%-miss cache: its lookups land in
+        // the `disabled` counter, never in `misses` — and since the cache
+        // is behavior-free, the off run makes exactly as many lookups as
+        // the on run resolved to hits + misses.
+        prop_assert_eq!((off_cache.hits, off_cache.misses), (0, 0), "{:?}", off_cache);
+        prop_assert_eq!(off_cache.disabled, with_cache.hits + with_cache.misses);
+        prop_assert_eq!(with_cache.disabled, 0, "enabled cache drew a disabled count");
     }
 }
 
